@@ -1,0 +1,114 @@
+"""Figure 9 — necessity of native framed-holistic support.
+
+Framed median over lineitem: traditional SQL formulations (correlated
+subquery, self join — both O(n^2) nested-loop plans), the Tableau-style
+client-side table calculation, and the native naive / merge-sort-tree
+algorithms behind the proposed SQL extension.
+
+Paper result (20k rows, Hyper): native naive is 15x faster than the
+client-side calc and 3x faster than the best SQL; the MST pushes the
+advantage to 63x over the best SQL.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.baselines.tableau import tableau_window_percentile
+from repro.bench.figures import fig09_sql_formulations
+from repro.bench.harness import scaled
+from repro.sql import Catalog, execute
+from repro.tpch import lineitem
+from repro.window import (
+    FrameSpec,
+    WindowCall,
+    WindowSpec,
+    current_row,
+    preceding,
+    window_query,
+)
+from repro.window.frame import OrderItem
+
+FRAME = 999
+
+
+@pytest.fixture(scope="module")
+def table():
+    return lineitem(scaled(2_000))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return WindowSpec(order_by=(OrderItem("l_shipdate"),),
+                      frame=FrameSpec.rows(preceding(FRAME), current_row()))
+
+
+def test_native_mst_median(benchmark, table, spec):
+    call = WindowCall("percentile_disc", ("l_extendedprice",), fraction=0.5,
+                      algorithm="mst")
+    benchmark(window_query, table, [call], spec)
+
+
+def test_native_naive_median(benchmark, table, spec):
+    call = WindowCall("percentile_disc", ("l_extendedprice",), fraction=0.5,
+                      algorithm="naive")
+    benchmark(window_query, table, [call], spec)
+
+
+def test_tableau_client_calc(benchmark, table):
+    order = np.argsort(table.column("l_shipdate").raw(), kind="stable")
+    prices = [float(v) for v in
+              np.asarray(table.column("l_extendedprice").raw())[order]]
+    benchmark(tableau_window_percentile, prices, 0.5, FRAME)
+
+
+def test_sql_correlated_subquery(benchmark, table):
+    catalog = Catalog({"lineitem": table})
+    sql = f"""
+     with lineitem_rn as (
+       select l_shipdate, l_extendedprice,
+              row_number() over (order by l_shipdate) as rn
+       from lineitem)
+     select (
+        select percentile_disc(0.5) within group (order by l_extendedprice)
+        from lineitem_rn l2
+        where l2.rn between l1.rn - {FRAME} and l1.rn)
+     from lineitem_rn l1
+    """
+    benchmark.pedantic(execute, args=(sql, catalog), rounds=1, iterations=1)
+
+
+def test_sql_self_join(benchmark, table):
+    catalog = Catalog({"lineitem": table})
+    sql = f"""
+     with lineitem_rn as (
+       select l_shipdate, l_extendedprice,
+              row_number() over (order by l_shipdate) as rn
+       from lineitem)
+     select percentile_disc(0.5) within group (order by l2.l_extendedprice)
+     from lineitem_rn l1 join lineitem_rn l2
+       on l2.rn between l1.rn - {FRAME} and l1.rn
+     group by l1.rn
+    """
+    benchmark.pedantic(execute, args=(sql, catalog), rounds=1, iterations=1)
+
+
+def test_figure09_series(benchmark):
+    """Regenerate the full Figure 9 comparison table."""
+    series = benchmark.pedantic(fig09_sql_formulations, rounds=1,
+                                iterations=1)
+    emit(series)
+    rows = {row[0]: row for row in series.rows}
+    mst = rows["native merge sort tree"]
+    naive = rows["native naive"]
+    tableau = rows["Tableau-style client calc"]
+    # Shape assertions from the paper's Section 6.2 narrative.
+    assert mst[3] > 5.0, "MST must crush every traditional SQL formulation"
+    assert naive[3] > 1.0, "even naive native beats traditional SQL"
+    if scaled(2_000) >= 1_000:
+        # The paper's Section 6.2 ordering: client-side calc beats the
+        # SQL formulations but loses to both native algorithms. (The
+        # naive-vs-MST flip itself needs larger frames than 999 rows in
+        # CPython and is demonstrated in the Figure 11 bench.)
+        assert tableau[3] < mst[3], "client calc slower than native MST"
+        assert tableau[3] < naive[3], "client calc slower than naive"

@@ -1,0 +1,41 @@
+"""Figure 14 — execution-phase breakdown of a framed distinct count.
+
+The paper profiles a running COUNT DISTINCT on TPC-H SF10 (3.3s total in
+Hyper): partition/sort setup, the Algorithm 1 phases (populate, sort,
+prevIdcs), merge-sort-tree layer construction, and result computation.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.figures import fig14_cost_breakdown
+from repro.bench.harness import scaled
+from repro.bench.profiling import distinct_count_phases
+from repro.tpch import lineitem_arrays
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    return lineitem_arrays(scaled(200_000))
+
+
+def test_distinct_count_pipeline(benchmark, arrays):
+    n = len(arrays["l_partkey"])
+    benchmark.pedantic(
+        distinct_count_phases,
+        args=(arrays["l_shipdate"], arrays["l_partkey"], n),
+        rounds=1, iterations=1)
+
+
+def test_figure14_breakdown(benchmark):
+    series = benchmark.pedantic(fig14_cost_breakdown, rounds=1,
+                                iterations=1)
+    emit(series)
+    fractions = {row[0]: row[2] for row in series.rows}
+    # Shape: sorting + tree building + probing dominate; the linear
+    # passes (populate, prevIdcs, materialize) are comparatively small.
+    heavy = (fractions["sort array"] + fractions["build tree layers"]
+             + fractions["compute results"] + fractions["sort window order"])
+    assert heavy > 0.7, f"heavy phases should dominate, got {heavy:.2f}"
+    light = fractions["populate array"] + fractions["compute prevIdcs"]
+    assert light < 0.25, f"linear passes should be small, got {light:.2f}"

@@ -1,0 +1,89 @@
+"""Windowed MODE — the algorithm comparison the paper's related work
+implies ([13, 25], Wesley & Xu's mode coverage).
+
+Mode cannot be phrased as a 2-d range count, so the merge sort tree does
+not apply; the contenders are the sqrt-decomposition range-mode index,
+the incremental counter table, and naive recomputation. The incremental
+algorithm shows the same Section 3.2 pathologies as for distinct counts:
+great on monotonic frames, degrading with non-monotonicity.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.bench.harness import BenchSeries, measure, scaled
+from repro.tpch import lineitem
+from repro.window import (
+    FrameSpec,
+    WindowCall,
+    WindowSpec,
+    current_row,
+    following,
+    preceding,
+    window_query,
+)
+from repro.window.frame import OrderItem
+
+
+@pytest.fixture(scope="module")
+def table():
+    return lineitem(scaled(5_000))
+
+
+def _sliding(frame):
+    return WindowSpec(order_by=(OrderItem("l_shipdate"),),
+                      frame=FrameSpec.rows(preceding(frame), current_row()))
+
+
+@pytest.mark.parametrize("algorithm", ["mst", "incremental", "naive"])
+def test_mode_sliding(benchmark, table, algorithm):
+    call = WindowCall("mode", ("l_partkey",), algorithm=algorithm)
+    benchmark.pedantic(window_query, args=(table, [call], _sliding(200)),
+                       rounds=2, iterations=1)
+
+
+def test_mode_series(benchmark, table):
+    """Frame-size sweep for every mode algorithm, with agreement check."""
+    n = table.num_rows
+    series = BenchSeries(
+        f"Windowed MODE — algorithms vs frame size (n = {n})",
+        ["algorithm", "frame", "seconds", "tuples_per_s"])
+    reference = {}
+    for frame in (20, 200, 2_000):
+        for algorithm in ("mst", "incremental", "naive"):
+            call = WindowCall("mode", ("l_partkey",), algorithm=algorithm)
+            spec = _sliding(frame)
+            out = []
+            seconds = measure(
+                lambda: out.append(window_query(table, [call], spec)
+                                   .columns[-1].to_list()))
+            series.add(algorithm, frame, seconds, n / seconds)
+            key = frame
+            if key in reference:
+                assert out[-1] == reference[key], \
+                    f"{algorithm} disagrees at frame {frame}"
+            else:
+                reference[key] = out[-1]
+    emit(series)
+
+    # Non-monotonic frames: incremental loses its overlap advantage.
+    rng = np.random.default_rng(12)
+    start = rng.integers(0, 400, size=n)
+    end = np.maximum(400 - start, 0)
+    jumpy = WindowSpec(order_by=(OrderItem("l_shipdate"),),
+                       frame=FrameSpec.rows(preceding(start),
+                                            following(end)))
+    smooth = _sliding(400)
+    times = {}
+    for label, spec in [("monotonic", smooth), ("non-monotonic", jumpy)]:
+        call = WindowCall("mode", ("l_partkey",), algorithm="incremental")
+        times[label] = measure(lambda: window_query(table, [call], spec))
+    nm = BenchSeries("Windowed MODE — incremental vs non-monotonicity",
+                     ["frames", "seconds"])
+    nm.add("monotonic (frame 400)", times["monotonic"])
+    nm.add("non-monotonic (avg 400)", times["non-monotonic"])
+    emit(nm)
+    assert times["non-monotonic"] > times["monotonic"], \
+        "losing frame overlap must cost the incremental algorithm"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

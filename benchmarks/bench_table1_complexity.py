@@ -1,0 +1,70 @@
+"""Table 1 — complexity classes of the holistic-aggregate algorithms.
+
+Empirically fits log-log slopes of runtime vs input size under SQL's
+default frame (UNBOUNDED PRECEDING .. CURRENT ROW, frame grows with n)
+and checks the ordering the paper's Table 1 implies: the merge sort tree
+scales log-linearly where naive recomputation is quadratic; the
+incremental distinct count is linear but serial.
+
+Interpreter-level constants blur the slopes at CPython-feasible sizes
+(e.g. the incremental percentile's O(n^2) term is a C memmove that only
+dominates at much larger n), so the assertions target the ordering, not
+exact exponents; the full fitted table is printed for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.figures import table1_complexity
+from repro.bench.harness import scaled
+from repro.tpch import lineitem
+from repro.window import (
+    FrameSpec,
+    WindowCall,
+    WindowSpec,
+    current_row,
+    preceding,
+    window_query,
+)
+from repro.window.frame import OrderItem
+
+
+@pytest.fixture(scope="module")
+def running_spec():
+    return WindowSpec(order_by=(OrderItem("l_shipdate"),),
+                      frame=FrameSpec.rows(preceding(10 ** 9),
+                                           current_row()))
+
+
+@pytest.mark.parametrize("algorithm", ["mst", "incremental"])
+def test_running_distinct_count(benchmark, running_spec, algorithm):
+    table = lineitem(scaled(4_000))
+    call = WindowCall("count", ("l_partkey",), distinct=True,
+                      algorithm=algorithm)
+    benchmark(window_query, table, [call], running_spec)
+
+
+@pytest.mark.parametrize("algorithm", ["mst", "ostree", "segtree"])
+def test_running_median(benchmark, running_spec, algorithm):
+    table = lineitem(scaled(4_000))
+    call = WindowCall("percentile_disc", ("l_extendedprice",), fraction=0.5,
+                      algorithm=algorithm)
+    benchmark(window_query, table, [call], running_spec)
+
+
+def test_table1_slopes(benchmark):
+    series = benchmark.pedantic(table1_complexity, rounds=1, iterations=1)
+    emit(series)
+    slopes = {(r[0], r[1]): r[4] for r in series.rows}
+
+    # Quadratic algorithms must fit clearly superlinear slopes.
+    assert slopes[("dist. count", "naive")] > 1.5
+    assert slopes[("percentile", "naive")] > 1.5
+    assert slopes[("rank", "naive")] > 1.5
+    # Log-linear algorithms stay well below quadratic.
+    for key in [("dist. count", "MST"), ("percentile", "MST"),
+                ("rank", "MST"), ("percentile", "order statistic tree")]:
+        assert slopes[key] < 1.6, (key, slopes[key])
+    # Naive must be clearly worse than the MST for every aggregate.
+    for aggregate in ["dist. count", "percentile", "rank"]:
+        assert slopes[(aggregate, "naive")] > slopes[(aggregate, "MST")]

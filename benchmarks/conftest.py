@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import BenchSeries, save_series
+
+
+def emit(series: BenchSeries) -> None:
+    """Print a figure series and persist it under benchmarks/results/."""
+    print()
+    print(series)
+    path = save_series(series)
+    print(f"  saved: {path}")
+
+
+@pytest.fixture(scope="session")
+def lineitem_20k():
+    from repro.tpch import lineitem
+    return lineitem(20_000)
+
+
+@pytest.fixture(scope="session")
+def lineitem_5k():
+    from repro.tpch import lineitem
+    return lineitem(5_000)

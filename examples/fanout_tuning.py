@@ -1,0 +1,77 @@
+"""Tuning the merge sort tree: fanout f, pointer sampling k, memory.
+
+Reproduces the Section 5.1 / 6.6 reasoning in miniature: sweep a few
+(f, k) configurations on a windowed-rank workload, print measured
+build+probe times next to the closed-form memory model, and show why the
+paper settles on f = k = 32 — not the fastest cell, but a fraction of
+the memory of the fastest one.
+
+Also demonstrates spooling a tree to disk and loading it back
+(Section 5.1: "If necessary, they could also be spooled to disk").
+
+Run with::
+
+    python examples/fanout_tuning.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import MemoryModel, MergeSortTree
+from repro.mst.persist import load_tree, save_tree
+
+
+def sweep(n: int = 20_000, queries: int = 4_000) -> None:
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, n, size=n, dtype=np.int64)
+    frame = n // 20
+    rows = rng.integers(0, n, size=queries)
+
+    print(f"windowed rank on {n:,} random integers, frame {frame}, "
+          f"{queries:,} probes")
+    print(f"{'f':>4} {'k':>5} {'build+probe':>12} {'model GB @100M':>15}")
+    results = {}
+    for fanout, sampling in [(2, 32), (8, 8), (16, 4), (32, 32),
+                             (64, 64)]:
+        start = time.perf_counter()
+        tree = MergeSortTree(keys, fanout=fanout, sample_every=sampling)
+        for row in rows:
+            tree.count_below(max(int(row) - frame, 0), int(row) + 1,
+                             int(keys[row]))
+        elapsed = time.perf_counter() - start
+        model = MemoryModel(100_000_000, fanout, sampling)
+        results[(fanout, sampling)] = (elapsed, model.gigabytes)
+        print(f"{fanout:>4} {sampling:>5} {elapsed:>11.3f}s "
+              f"{model.gigabytes:>14.1f}")
+
+    fast = min(results.items(), key=lambda kv: kv[1][0])
+    chosen = results[(32, 32)]
+    print(f"\nfastest cell: f={fast[0][0]}, k={fast[0][1]} "
+          f"({fast[1][0]:.3f}s, {fast[1][1]:.1f} GB at 100M keys)")
+    print(f"paper's choice f=k=32: {chosen[0]:.3f}s, {chosen[1]:.1f} GB "
+          f"— {fast[1][1] / chosen[1]:.1f}x less memory than the "
+          f"fastest cell")
+
+
+def spooling_demo() -> None:
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 5_000, size=5_000)
+    tree = MergeSortTree(keys, fanout=32, sample_every=32)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "tree.npz"
+        save_tree(tree, path)
+        size_kb = path.stat().st_size / 1024
+        loaded = load_tree(path)
+        assert loaded.count_below(100, 4_000, 2_500) == \
+            tree.count_below(100, 4_000, 2_500)
+        print(f"\nspooled a {tree.n:,}-key tree to disk "
+              f"({size_kb:.0f} KiB compressed) and restored it; "
+              f"queries agree")
+
+
+if __name__ == "__main__":
+    sweep()
+    spooling_demo()

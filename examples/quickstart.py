@@ -1,0 +1,107 @@
+"""Quickstart: framed holistic aggregates in three ways.
+
+Demonstrates the paper's core proposal — holistic aggregates and window
+functions composed with arbitrary window frames — through (1) the SQL
+front end with the proposed syntax extensions, (2) the window-operator
+API, and (3) the raw merge sort tree.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Catalog,
+    FrameSpec,
+    MergeSortTree,
+    WindowCall,
+    WindowSpec,
+    current_row,
+    execute,
+    preceding,
+    window_query,
+)
+from repro.tpch import lineitem
+from repro.window.frame import OrderItem
+
+
+def sql_interface() -> None:
+    """SQL:2011 forbids framing percentiles; the paper's extension (and
+    this engine) allows it with a function-level ORDER BY."""
+    print("=" * 72)
+    print("1. SQL with the proposed extensions")
+    print("=" * 72)
+    catalog = Catalog({"lineitem": lineitem(5_000)})
+    result = execute(
+        """
+        select l_shipdate,
+               percentile_disc(0.5, order by l_extendedprice) over w
+                   as moving_median,
+               count(distinct l_partkey) over w as distinct_parts,
+               rank(order by l_extendedprice desc) over w as price_rank
+        from lineitem
+        window w as (order by l_shipdate
+                     rows between 499 preceding and current row)
+        order by l_shipdate
+        limit 8
+        """,
+        catalog)
+    print(result.pretty())
+    print()
+
+
+def operator_interface() -> None:
+    """The same computation against the window operator directly."""
+    print("=" * 72)
+    print("2. The window-operator API")
+    print("=" * 72)
+    table = lineitem(5_000)
+    spec = WindowSpec(order_by=(OrderItem("l_shipdate"),),
+                      frame=FrameSpec.rows(preceding(499), current_row()))
+    calls = [
+        WindowCall("percentile_disc", ("l_extendedprice",), fraction=0.5,
+                   output="moving_median"),
+        WindowCall("count", ("l_partkey",), distinct=True,
+                   output="distinct_parts"),
+        WindowCall("rank", order_by=(OrderItem("l_extendedprice",
+                                               descending=True),),
+                   output="price_rank"),
+    ]
+    result = window_query(table, calls, spec)
+    print(result.select(["l_shipdate", "moving_median", "distinct_parts",
+                         "price_rank"]).head(5).pretty())
+    print()
+
+
+def tree_interface() -> None:
+    """The merge sort tree itself: a 2-d range-count index (Section 4.2).
+
+    Keys here are previous-occurrence indices of a value column; the
+    distinct count of any range [a, b) is the number of entries whose
+    key falls below a.
+    """
+    print("=" * 72)
+    print("3. The merge sort tree directly")
+    print("=" * 72)
+    from repro.preprocess import previous_occurrence
+
+    values = np.array([7, 3, 3, 9, 7, 3, 1, 9])
+    prev = previous_occurrence(values)
+    print(f"values:   {values.tolist()}")
+    print(f"prevIdcs: {prev.tolist()}   (-1 = first occurrence)")
+    tree = MergeSortTree(prev + 1, fanout=2, sample_every=4)
+    for lo, hi in [(0, 8), (3, 8), (2, 5)]:
+        distinct = tree.count_below(lo, hi, lo + 1)
+        oracle = len(set(values[lo:hi].tolist()))
+        print(f"distinct values in [{lo}, {hi}): {distinct} "
+              f"(oracle: {oracle})")
+        assert distinct == oracle
+
+
+if __name__ == "__main__":
+    sql_interface()
+    operator_interface()
+    tree_interface()
+    print("\nquickstart OK")

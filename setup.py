@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works in offline environments where
+pip's build isolation cannot download setuptools/wheel.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Competitor algorithms from the paper's evaluation (Section 5.5).
+
+* :mod:`repro.baselines.naive` — recompute the holistic aggregate from
+  scratch for every row's frame: O(n * frame) time, O(frame) space. Also
+  serves as the correctness oracle for every other implementation.
+* :mod:`repro.baselines.incremental` — Wesley & Xu [38]: keep an
+  aggregation state (hash table for distinct counts, sorted array for
+  percentiles) up to date as rows enter and leave the frame. O(n) for
+  distinct counts, O(n^2) worst case for percentiles (array shifting),
+  and inherently serial (Section 3.2).
+* :mod:`repro.baselines.tableau` — a deliberately row-at-a-time,
+  interpreter-style moving percentile, standing in for Tableau's
+  client-side WINDOW_PERCENTILE table calculation measured in Figure 9.
+"""
+
+from repro.baselines.naive import (
+    naive_distinct_aggregate,
+    naive_distinct_count,
+    naive_kth,
+    naive_percentile_disc,
+    naive_rank,
+)
+from repro.baselines.incremental import (
+    IncrementalDistinct,
+    IncrementalPercentile,
+    incremental_distinct_count,
+    incremental_percentile_disc,
+)
+from repro.baselines.tableau import tableau_window_percentile
+
+__all__ = [
+    "IncrementalDistinct",
+    "IncrementalPercentile",
+    "incremental_distinct_count",
+    "incremental_percentile_disc",
+    "naive_distinct_aggregate",
+    "naive_distinct_count",
+    "naive_kth",
+    "naive_percentile_disc",
+    "naive_rank",
+    "tableau_window_percentile",
+]

@@ -1,0 +1,44 @@
+"""A client-side table-calculation interpreter for moving percentiles.
+
+Figure 9 measures Tableau Server's WINDOW_PERCENTILE, a table calculation
+computed in the application layer. Since Tableau itself is proprietary,
+this module stands in with a deliberately comparable implementation: a
+row-at-a-time interpreter that, for every output row, materialises the
+window into a fresh list, sorts it, and indexes the percentile — no
+sharing between rows, no vectorisation, boxed Python values throughout.
+That is the computational shape of an interpreter-style table calc
+engine and reproduces its role in the Figure 9 comparison: slower than
+any in-database algorithm, but immune to the pathological O(n^2) join
+plans of the traditional SQL formulations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence
+
+
+def tableau_window_percentile(values: Sequence[Any], fraction: float,
+                              rows_before: int,
+                              rows_after: int = 0) -> List[Optional[Any]]:
+    """WINDOW_PERCENTILE(expr, fraction) over
+    ``[index - rows_before, index + rows_after]``, computed row-at-a-time.
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be within [0, 1]")
+    results: List[Optional[Any]] = []
+    n = len(values)
+    for index in range(n):
+        window: List[Any] = []
+        lower = index - rows_before
+        upper = index + rows_after
+        for j in range(lower, upper + 1):
+            if 0 <= j < n and values[j] is not None:
+                window.append(values[j])
+        if not window:
+            results.append(None)
+            continue
+        window.sort()
+        position = max(math.ceil(fraction * len(window)) - 1, 0)
+        results.append(window[position])
+    return results

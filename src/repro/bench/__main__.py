@@ -1,0 +1,87 @@
+"""Command-line figure regeneration: ``python -m repro.bench``.
+
+Regenerates the paper's tables and figures without pytest::
+
+    python -m repro.bench --list
+    python -m repro.bench fig9 fig13
+    python -m repro.bench all --scale 0.2
+    python -m repro.bench fig11 --save
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from repro.bench import figures
+from repro.bench.harness import BenchSeries, save_series
+
+EXPERIMENTS: Dict[str, Callable[[], BenchSeries]] = {
+    "table1": figures.table1_complexity,
+    "fig9": figures.fig09_sql_formulations,
+    "fig10": figures.fig10_scalability,
+    "fig10-sim": figures.fig10_simulated_sweep,
+    "fig11": figures.fig11_frame_sizes,
+    "fig11-crossovers": figures.fig11_crossovers,
+    "fig12": figures.fig12_nonmonotonic,
+    "fig13": figures.fig13_fanout_sampling,
+    "fig14": figures.fig14_cost_breakdown,
+    "memory": figures.memory_model_table,
+}
+
+_DESCRIPTIONS = {
+    "table1": "empirical complexity-class slope fits",
+    "fig9": "framed median: SQL formulations vs native algorithms",
+    "fig10": "throughput vs input size (measured + simulated)",
+    "fig10-sim": "throughput vs input size at paper scale (model)",
+    "fig11": "framed median vs frame size",
+    "fig11-crossovers": "modelled crossover frame sizes vs the paper's",
+    "fig12": "non-monotonic frames",
+    "fig13": "fanout f x sampling k grid",
+    "fig14": "cost breakdown of a framed distinct count",
+    "memory": "Section 6.6 memory-model numbers",
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (or 'all')")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (sets REPRO_BENCH_SCALE)")
+    parser.add_argument("--save", action="store_true",
+                        help="also write results under benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name in EXPERIMENTS:
+            print(f"{name:18s} {_DESCRIPTIONS[name]}")
+        return 0
+
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+
+    selected = list(EXPERIMENTS) if args.experiments == ["all"] \
+        else args.experiments
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
+                     f"use --list")
+    for name in selected:
+        series = EXPERIMENTS[name]()
+        print(series)
+        print()
+        if args.save:
+            print(f"  saved: {save_series(series)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Timing and reporting utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+def bench_scale() -> float:
+    """Global workload scale from ``REPRO_BENCH_SCALE`` (default 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled(n: int, minimum: int = 100) -> int:
+    """Scale a workload size by the global bench scale."""
+    return max(int(n * bench_scale()), minimum)
+
+
+def measure(fn: Callable[[], Any], *, repeats: int = 1,
+            warmup: bool = False) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    if warmup:
+        fn()
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class BenchSeries:
+    """One experiment's results: rows of labelled measurements."""
+
+    name: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        """Append one measurement row."""
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form footnote (paper context, caveats)."""
+        self.notes.append(text)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as column-name dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:
+        lines = [f"== {self.name} =="]
+        lines.append(format_table(self.columns, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(columns: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = [" | ".join(c.rjust(w) for c, w in zip(row, widths))
+            for row in rendered]
+    return "\n".join([header, sep] + body)
+
+
+def results_dir() -> str:
+    """Directory where benches drop their textual outputs."""
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+        "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _slug(text: str) -> str:
+    keep = []
+    for ch in text.lower():
+        if ch.isalnum():
+            keep.append(ch)
+        elif keep and keep[-1] != "_":
+            keep.append("_")
+    return "".join(keep).strip("_")
+
+
+def save_series(series: BenchSeries, filename: Optional[str] = None) -> str:
+    """Write a series under ``benchmarks/results/``; returns the path."""
+    name = filename or f"{_slug(series.name)}.txt"
+    path = os.path.join(results_dir(), name)
+    with open(path, "w") as handle:
+        handle.write(str(series) + "\n")
+    return path

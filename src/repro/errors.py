@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table or column was used in a way incompatible with its schema."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value of the wrong type was inserted into a typed column."""
+
+
+class FrameError(ReproError):
+    """An invalid window frame specification was supplied."""
+
+
+class WindowFunctionError(ReproError):
+    """A window function was invoked with invalid arguments or clauses."""
+
+
+class SqlError(ReproError):
+    """Base class for errors from the SQL front end."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SqlAnalysisError(SqlError):
+    """The SQL text parsed but failed semantic analysis.
+
+    This mirrors the paper's observation (Section 2.4) that grammars such
+    as PostgreSQL's accept DISTINCT / ORDER BY in every function call and
+    reject unsupported combinations only during semantic analysis.
+    """
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a query plan."""

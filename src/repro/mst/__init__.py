@@ -1,0 +1,46 @@
+"""Merge sort trees (Section 4 of the paper).
+
+The merge sort tree (MST) is a static index over an integer key array: it
+retains every intermediate sorted-run level of a bottom-up, fanout-``f``
+merge sort. Three query kinds run in O(log n) each (with fractional
+cascading) against the finished tree:
+
+* :meth:`MergeSortTree.count` — two-dimensional range counting, the core
+  of framed COUNT DISTINCT and the rank family (Sections 4.2 and 4.4);
+* :meth:`MergeSortTree.aggregate` — combine per-run prefix aggregate
+  states, the core of arbitrary framed DISTINCT aggregates (Section 4.3);
+* :meth:`MergeSortTree.select` — find the k-th qualifying entry in slab
+  order, the core of framed percentiles and value functions (Section 4.5).
+
+``vectorized`` contains numpy-batched versions of the same queries that
+answer all n per-row queries of a window operator level-by-level; they are
+what makes the pure-Python reproduction fast enough for the benchmarks.
+"""
+
+from repro.mst.aggregates import (
+    AggregateSpec,
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    make_udaf,
+)
+from repro.mst.decompose import decompose_range, max_runs_per_level
+from repro.mst.stats import MemoryModel, tree_memory_elements
+from repro.mst.tree import MergeSortTree
+
+__all__ = [
+    "AggregateSpec",
+    "AVG",
+    "COUNT",
+    "MAX",
+    "MIN",
+    "SUM",
+    "make_udaf",
+    "MergeSortTree",
+    "MemoryModel",
+    "decompose_range",
+    "max_runs_per_level",
+    "tree_memory_elements",
+]

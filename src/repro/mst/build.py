@@ -1,0 +1,284 @@
+"""Construction of merge sort tree levels.
+
+Two build paths produce bit-identical levels:
+
+* :func:`build_levels_scalar` — a faithful bottom-up, fanout-``f``
+  multiway merge (Section 5.2 describes the parallel variant). It is the
+  reference implementation used by the tests and mirrors what a database
+  system would run.
+* :func:`build_levels_numpy` — one stable ``np.lexsort`` per level
+  (sorting each slab independently is exactly a multiway merge of its
+  already-sorted children). This is the fast path for large inputs.
+
+Both can additionally produce:
+
+* *cascading bridges* (Section 4.2, "fractional cascading"): for every
+  ``k``-th position of each parent run, the number of elements consumed
+  from each child run up to that output position. At query time a parent
+  lower bound is translated into per-child lower bounds with at most a
+  ``k``-element scan, turning all but the first binary search into O(1).
+* *prefix aggregate annotations* (Section 4.3): for every position, the
+  aggregate of the payload values from the start of its sorted run.
+
+Index width is chosen per tree — int32 when the key domain allows it,
+int64 otherwise — mirroring Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.mst.aggregates import AggregateSpec
+from repro.mst.decompose import num_levels
+
+
+@dataclass
+class TreeLevels:
+    """The materialised levels of a merge sort tree.
+
+    ``keys[0]`` is the input array; ``keys[i]`` is sorted within runs of
+    ``fanout**i``. ``bridges[i]`` (``i >= 1``) holds, for every
+    ``sample_every``-th position of each parent run, the cumulative count
+    of elements taken from each of the ``fanout`` child runs; shape is
+    ``(num_samples, fanout)``. ``agg_prefix[i]`` holds per-position
+    running prefix aggregates within each run of level ``i``.
+    """
+
+    fanout: int
+    sample_every: int
+    keys: List[np.ndarray] = field(default_factory=list)
+    bridges: List[Optional[np.ndarray]] = field(default_factory=list)
+    agg_prefix: List[Any] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Number of tree entries (length of every level)."""
+        return len(self.keys[0]) if self.keys else 0
+
+    @property
+    def height(self) -> int:
+        """Number of levels, including the level-0 input."""
+        return len(self.keys)
+
+    def run_length(self, level: int) -> int:
+        """Sorted-run length at ``level`` (= fanout ** level)."""
+        return self.fanout ** level
+
+    def samples_per_slab(self, level: int) -> int:
+        """Bridge samples reserved per full parent slab at ``level``.
+
+        The final, possibly truncated slab reserves only
+        ``ceil(actual_size / sample_every)`` rows; since it sits at the
+        end of the bridge array, ``slab_index * samples_per_slab``
+        indexing stays valid for every slab.
+        """
+        parent_len = self.run_length(level)
+        return -(-parent_len // self.sample_every)
+
+    def slab_sample_count(self, level: int, slab_start: int) -> int:
+        """Bridge samples actually stored for the slab at ``slab_start``."""
+        parent_len = self.run_length(level)
+        size = min(parent_len, self.n - slab_start)
+        return -(-size // self.sample_every)
+
+
+def choose_index_dtype(n: int) -> np.dtype:
+    """32-bit indices when they fit, else 64-bit (Section 5.1)."""
+    return np.dtype(np.int32) if n < 2**31 - 1 else np.dtype(np.int64)
+
+
+def _prepare_keys(keys: Any) -> np.ndarray:
+    arr = np.asarray(keys)
+    if arr.ndim != 1:
+        raise ValueError("merge sort tree keys must be one-dimensional")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            "merge sort tree keys must be integers; preprocess values to "
+            "dense integer keys first (Section 5.1)")
+    return arr
+
+
+def _permuted_prefix(spec: AggregateSpec, payload: Any, order: Optional[np.ndarray],
+                     run_length: int, n: int) -> Any:
+    """Prefix aggregates of ``payload[order]`` within runs of ``run_length``."""
+    if order is None:
+        permuted = payload
+    elif isinstance(payload, np.ndarray):
+        permuted = payload[order]
+    else:
+        permuted = [payload[i] for i in order]
+    if spec.prefix_numpy is not None and isinstance(permuted, np.ndarray):
+        return spec.prefix_numpy(permuted, run_length)
+    prefix: List[Any] = [None] * n
+    for start in range(0, n, run_length):
+        state = spec.identity
+        for i in range(start, min(start + run_length, n)):
+            state = spec.merge(state, spec.lift(permuted[i]))
+            prefix[i] = state
+    return prefix
+
+
+def _bridges_from_sources(sources: np.ndarray, fanout: int, sample_every: int,
+                          parent_len: int, n: int) -> np.ndarray:
+    """Cumulative per-child consumed counts at sampled parent positions.
+
+    ``sources[j]`` is the child index (0..fanout-1) the element at parent
+    position ``j`` came from. The bridge row for sample position ``p``
+    (``p = slab_start + s * sample_every``) holds, for each child ``c``,
+    how many of the first ``p - slab_start`` outputs of the slab came from
+    child ``c`` — which is exactly the lower-bound position inside child
+    ``c`` of the value at parent position ``p``.
+    """
+    samples_per_slab = -(-parent_len // sample_every)
+    num_slabs = -(-n // parent_len)
+    last_size = n - (num_slabs - 1) * parent_len
+    last_samples = -(-last_size // sample_every)
+    total_rows = (num_slabs - 1) * samples_per_slab + last_samples
+    # Sampled positions of every slab (full slabs via broadcasting, the
+    # truncated final slab appended) and their slab start positions.
+    if num_slabs > 1:
+        grid = (np.arange(num_slabs - 1, dtype=np.int64)[:, None]
+                * parent_len
+                + np.arange(0, parent_len, sample_every,
+                            dtype=np.int64)[None, :])
+        positions = grid.reshape(-1)
+    else:
+        positions = np.empty(0, dtype=np.int64)
+    last_start = (num_slabs - 1) * parent_len
+    positions = np.concatenate([
+        positions,
+        last_start + np.arange(0, last_size, sample_every, dtype=np.int64)])
+    slab_starts = (positions // parent_len) * parent_len
+    at_start = positions == slab_starts
+    bridge = np.empty((total_rows, fanout), dtype=np.int32)
+    for c in range(fanout):
+        cum = np.cumsum(sources == c)
+        base = np.where(slab_starts == 0, 0,
+                        cum[np.maximum(slab_starts - 1, 0)])
+        consumed = np.where(
+            at_start, 0,
+            cum[np.maximum(positions - 1, 0)] - base)
+        bridge[:, c] = consumed
+    return bridge
+
+
+def build_levels_numpy(keys: Any, fanout: int = 2, sample_every: int = 32,
+                       cascading: bool = True,
+                       aggregate: Optional[AggregateSpec] = None,
+                       payload: Any = None) -> TreeLevels:
+    """Build all levels with one stable lexsort per level."""
+    base = _prepare_keys(keys)
+    n = len(base)
+    dtype = choose_index_dtype(max(n, int(base.max(initial=0)) + 2))
+    levels = TreeLevels(fanout=fanout, sample_every=sample_every)
+    levels.keys.append(base.astype(dtype, copy=True))
+    levels.bridges.append(None)
+    if aggregate is not None:
+        if payload is None:
+            raise ValueError("aggregate annotation requires a payload array")
+        levels.agg_prefix.append(
+            _permuted_prefix(aggregate, payload, None, 1, n))
+
+    height = num_levels(n, fanout)
+    order: Optional[np.ndarray] = None
+    positions = np.arange(n, dtype=np.int64)
+    current = levels.keys[0]
+    for level in range(1, height):
+        child_len = fanout ** (level - 1)
+        parent_len = child_len * fanout
+        slabs = positions // parent_len
+        # Stable sort by (slab, key): within each parent slab this is a
+        # stable multiway merge of its fanout sorted child runs.
+        step_order = np.lexsort((current, slabs))
+        current = current[step_order]
+        order = step_order if order is None else order[step_order]
+        levels.keys.append(current)
+        if cascading:
+            sources = ((step_order % parent_len) // child_len).astype(np.int8)
+            levels.bridges.append(_bridges_from_sources(
+                sources, fanout, sample_every, parent_len, n))
+        else:
+            levels.bridges.append(None)
+        if aggregate is not None:
+            levels.agg_prefix.append(
+                _permuted_prefix(aggregate, payload, order, parent_len, n))
+    return levels
+
+
+def build_levels_scalar(keys: Any, fanout: int = 2, sample_every: int = 32,
+                        cascading: bool = True,
+                        aggregate: Optional[AggregateSpec] = None,
+                        payload: Any = None) -> TreeLevels:
+    """Reference bottom-up multiway merge build.
+
+    Produces levels identical to :func:`build_levels_numpy`; kept separate
+    because it mirrors the paper's merge-based construction (the bridges
+    fall out of the merge by "persisting the input iterators", Section 4.2)
+    and because the tests cross-validate the two.
+    """
+    base = _prepare_keys(keys)
+    n = len(base)
+    dtype = choose_index_dtype(max(n, int(base.max(initial=0)) + 2))
+    levels = TreeLevels(fanout=fanout, sample_every=sample_every)
+    levels.keys.append(base.astype(dtype, copy=True))
+    levels.bridges.append(None)
+    if aggregate is not None:
+        if payload is None:
+            raise ValueError("aggregate annotation requires a payload array")
+        levels.agg_prefix.append(
+            _permuted_prefix(aggregate, payload, None, 1, n))
+
+    height = num_levels(n, fanout)
+    order = np.arange(n, dtype=np.int64)
+    prev = levels.keys[0]
+    for level in range(1, height):
+        child_len = fanout ** (level - 1)
+        parent_len = child_len * fanout
+        out = np.empty_like(prev)
+        out_order = np.empty_like(order)
+        samples_per_slab = -(-parent_len // sample_every)
+        num_slabs = -(-n // parent_len)
+        last_size = n - (num_slabs - 1) * parent_len
+        total_rows = (num_slabs - 1) * samples_per_slab \
+            + -(-last_size // sample_every)
+        bridge = (np.zeros((total_rows, fanout), dtype=np.int32)
+                  if cascading else None)
+        for slab_index in range(num_slabs):
+            slab_start = slab_index * parent_len
+            slab_stop = min(slab_start + parent_len, n)
+            heads = []
+            stops = []
+            for c in range(fanout):
+                run_start = slab_start + c * child_len
+                if run_start >= slab_stop:
+                    break
+                heads.append(run_start)
+                stops.append(min(run_start + child_len, slab_stop))
+            consumed = [0] * len(heads)
+            for out_pos in range(slab_start, slab_stop):
+                if bridge is not None and (out_pos - slab_start) % sample_every == 0:
+                    row = slab_index * samples_per_slab + \
+                        (out_pos - slab_start) // sample_every
+                    for c, count in enumerate(consumed):
+                        bridge[row, c] = count
+                # Stable pick: smallest key, ties resolved by child order.
+                best = -1
+                for c in range(len(heads)):
+                    if heads[c] < stops[c] and (
+                            best < 0 or prev[heads[c]] < prev[heads[best]]):
+                        best = c
+                out[out_pos] = prev[heads[best]]
+                out_order[out_pos] = order[heads[best]]
+                heads[best] += 1
+                consumed[best] += 1
+        levels.keys.append(out)
+        levels.bridges.append(bridge)
+        if aggregate is not None:
+            levels.agg_prefix.append(
+                _permuted_prefix(aggregate, payload, out_order, parent_len, n))
+        prev = out
+        order = out_order
+    return levels

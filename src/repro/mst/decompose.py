@@ -1,0 +1,73 @@
+"""Covering a query range with sorted runs of a merge sort tree.
+
+A fanout-``f`` merge sort tree over ``n`` entries has runs of length
+``f**level`` starting at multiples of that length. Any half-open slab
+range ``[lo, hi)`` can be pieced together from at most ``2*(f-1)`` whole
+runs per level (Section 4.2: "at most 2 binary searches per layer" for the
+binary case): unaligned prefixes/suffixes are peeled off level by level
+until the remaining range aligns to the next-coarser run length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+Run = Tuple[int, int, int]  # (level, start, stop) with stop - start == f**level
+
+
+def decompose_range(lo: int, hi: int, fanout: int, n: int) -> List[Run]:
+    """Cover ``[lo, hi)`` with whole, aligned runs of a fanout-``f`` tree.
+
+    Returns ``(level, start, stop)`` triples ordered by ascending slab
+    position. Every returned run is completely contained in ``[lo, hi)``
+    and completely inside the array (``stop <= n``).
+    """
+    if not 0 <= lo <= hi <= n:
+        raise ValueError(f"range [{lo}, {hi}) out of bounds for n={n}")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    left: List[Run] = []
+    right: List[Run] = []
+    level = 0
+    length = 1
+    while lo < hi:
+        parent = length * fanout
+        while lo % parent != 0 and lo < hi:
+            left.append((level, lo, lo + length))
+            lo += length
+        while hi % parent != 0 and lo < hi:
+            right.append((level, hi - length, hi))
+            hi -= length
+        level += 1
+        length = parent
+    right.reverse()
+    return left + right
+
+
+def decompose_ranges(ranges: List[Tuple[int, int]], fanout: int,
+                     n: int) -> Iterator[Run]:
+    """Decompose several disjoint slab ranges (e.g. a frame with EXCLUDE
+    holes, Section 4.7) into covering runs."""
+    for lo, hi in ranges:
+        yield from decompose_range(lo, hi, fanout, n)
+
+
+def max_runs_per_level(fanout: int) -> int:
+    """Upper bound on covering runs contributed by one level for one range."""
+    return 2 * (fanout - 1)
+
+
+def num_levels(n: int, fanout: int) -> int:
+    """Number of levels of a fanout-``f`` tree over ``n`` entries.
+
+    Level 0 is the unsorted input; the top level consists of one fully
+    sorted run. A single-entry (or empty) input has exactly one level.
+    """
+    if n <= 1:
+        return 1
+    levels = 1
+    length = 1
+    while length < n:
+        length *= fanout
+        levels += 1
+    return levels

@@ -1,0 +1,340 @@
+"""The :class:`MergeSortTree` and its three query kinds.
+
+Terminology used throughout:
+
+* **slab** / **slab position** — the position of an entry in the level-0
+  (input) order. For a framed COUNT DISTINCT the slab order is the window
+  frame order; for a percentile tree it is the function's ORDER BY order
+  (the tree is built over the permutation array, Section 4.5).
+* **key** — the integer value stored in the tree: a previous-occurrence
+  index (distinct aggregates), a dense rank key (rank functions), or a
+  frame position (percentiles/value functions).
+* **slab ranges** — a list of disjoint half-open ``[lo, hi)`` intervals of
+  slab positions; a frame with EXCLUDE holes is up to three such
+  intervals (Section 4.7).
+* **key ranges** — half-open intervals of key values; ``None`` bounds
+  mean unbounded.
+
+Queries are O(log n) with fractional cascading (the default) and
+O((log n)^2) without; the non-cascaded path is kept for the Figure 13
+ablation and as an oracle for the cascaded one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mst.aggregates import AggregateSpec
+from repro.mst.build import TreeLevels, build_levels_numpy, build_levels_scalar
+
+SlabRanges = Sequence[Tuple[int, int]]
+KeyRanges = Sequence[Tuple[Optional[int], Optional[int]]]
+
+
+class MergeSortTree:
+    """A static merge sort tree over an integer key array.
+
+    Parameters
+    ----------
+    keys:
+        One-dimensional integer array; the level-0 slab order.
+    fanout:
+        Merge fanout ``f`` (Section 5.1; the paper's default is 32, the
+        numpy-vectorised window paths prefer 2).
+    sample_every:
+        Cascading pointer sampling ``k``: one bridge row per ``k``
+        positions of each parent run.
+    cascading:
+        Build the fractional-cascading bridges. Without them queries fall
+        back to one binary search per covering run.
+    aggregate / payload:
+        Annotate every level with per-run prefix aggregate states of
+        ``payload`` (Section 4.3) to enable :meth:`aggregate`.
+    builder:
+        ``"numpy"`` (default) or ``"scalar"`` — both produce identical
+        levels; see :mod:`repro.mst.build`.
+    """
+
+    def __init__(self, keys: Any, *, fanout: int = 2, sample_every: int = 32,
+                 cascading: bool = True,
+                 aggregate: Optional[AggregateSpec] = None,
+                 payload: Any = None, builder: str = "numpy") -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        build = {"numpy": build_levels_numpy,
+                 "scalar": build_levels_scalar}.get(builder)
+        if build is None:
+            raise ValueError(f"unknown builder {builder!r}")
+        self.levels: TreeLevels = build(
+            keys, fanout=fanout, sample_every=sample_every,
+            cascading=cascading, aggregate=aggregate, payload=payload)
+        self.fanout = fanout
+        self.sample_every = sample_every
+        self.cascading = cascading
+        self.aggregate_spec = aggregate
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of entries in the tree."""
+        return self.levels.n
+
+    @property
+    def height(self) -> int:
+        """Number of levels, including the level-0 input."""
+        return self.levels.height
+
+    def memory_bytes(self) -> int:
+        """Actual bytes held by level arrays, bridges and annotations."""
+        total = sum(level.nbytes for level in self.levels.keys)
+        total += sum(b.nbytes for b in self.levels.bridges if b is not None)
+        for prefix in self.levels.agg_prefix:
+            if isinstance(prefix, np.ndarray):
+                total += prefix.nbytes
+            else:
+                total += 8 * len(prefix)
+        return total
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _normalize_slab_ranges(self, ranges: SlabRanges) -> List[Tuple[int, int]]:
+        out = []
+        for lo, hi in ranges:
+            lo = max(0, int(lo))
+            hi = min(self.n, int(hi))
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    def _thresholds(self, key_ranges: KeyRanges) -> List[Tuple[int, int]]:
+        """Flatten key ranges into signed lower-bound thresholds.
+
+        ``count(key in ranges) = sum(sign * lower_bound(threshold))``.
+        """
+        thresholds: List[Tuple[int, int]] = []
+        for lo, hi in key_ranges:
+            if lo is not None and hi is not None and lo > hi:
+                raise ValueError(
+                    f"inverted key range [{lo}, {hi}) in merge sort tree "
+                    f"query")
+            if hi is not None:
+                thresholds.append((int(hi), +1))
+            else:
+                thresholds.append((None, +1))  # type: ignore[arg-type]
+            if lo is not None:
+                thresholds.append((int(lo), -1))
+        return thresholds
+
+    def _top(self) -> Tuple[int, int]:
+        """(level, run_length) of the topmost (fully sorted) level."""
+        level = self.height - 1
+        return level, self.fanout ** level
+
+    def _lower_bound_top(self, threshold: Optional[int]) -> int:
+        if threshold is None:
+            return self.n
+        top = self.levels.keys[self.height - 1]
+        return int(np.searchsorted(top, threshold, side="left"))
+
+    def _run_lower_bound(self, level: int, start: int, stop: int,
+                         threshold: Optional[int]) -> int:
+        """Binary search inside one run; position relative to ``start``."""
+        if threshold is None:
+            return stop - start
+        keys = self.levels.keys[level]
+        return int(np.searchsorted(keys[start:stop], threshold, side="left"))
+
+    def _cascade_bounds(self, level: int, slab_start: int,
+                        bounds: List[int],
+                        thresholds: List[Tuple[Optional[int], int]]
+                        ) -> List[List[int]]:
+        """Translate parent-run lower bounds into per-child lower bounds.
+
+        ``bounds[t]`` is the lower bound (relative to ``slab_start``) of
+        threshold ``t`` inside the parent run at ``level``. Returns
+        ``child_bounds[c][t]`` relative to each child-run start at
+        ``level - 1``. Uses bridges when available (O(k) per threshold),
+        binary search otherwise.
+        """
+        fanout = self.fanout
+        child_len = self.fanout ** (level - 1)
+        parent_len = child_len * fanout
+        slab_stop = min(slab_start + parent_len, self.n)
+        keys_child = self.levels.keys[level - 1]
+        bridge = self.levels.bridges[level] if self.cascading else None
+        child_bounds: List[List[int]] = []
+        for c in range(fanout):
+            child_start = slab_start + c * child_len
+            if child_start >= slab_stop:
+                child_bounds.append([0] * len(thresholds))
+                continue
+            child_stop = min(child_start + child_len, slab_stop)
+            per_threshold: List[int] = []
+            for (threshold, _sign), parent_bound in zip(thresholds, bounds):
+                if threshold is None:
+                    per_threshold.append(child_stop - child_start)
+                    continue
+                if bridge is None:
+                    per_threshold.append(self._run_lower_bound(
+                        level - 1, child_start, child_stop, threshold))
+                    continue
+                samples_per_slab = self.levels.samples_per_slab(level)
+                slab_index = slab_start // parent_len
+                sample = min(parent_bound // self.sample_every,
+                             self.levels.slab_sample_count(level,
+                                                           slab_start) - 1)
+                pos = int(bridge[slab_index * samples_per_slab + sample, c])
+                limit = child_stop - child_start
+                while pos < limit and keys_child[child_start + pos] < threshold:
+                    pos += 1
+                per_threshold.append(pos)
+            child_bounds.append(per_threshold)
+        return child_bounds
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, slab_ranges: SlabRanges, key_ranges: KeyRanges) -> int:
+        """Number of entries with slab position in ``slab_ranges`` and key
+        value in ``key_ranges`` — the two-dimensional range count at the
+        heart of framed COUNT DISTINCT and rank functions."""
+        slab_ranges = self._normalize_slab_ranges(slab_ranges)
+        thresholds = self._thresholds(key_ranges)
+        if not slab_ranges or not thresholds or self.n == 0:
+            return 0
+        top_level, _ = self._top()
+        top_bounds = [self._lower_bound_top(t) for t, _ in thresholds]
+        total = 0
+        for lo, hi in slab_ranges:
+            total += self._count_descend(top_level, 0, top_bounds,
+                                         thresholds, lo, hi)
+        return total
+
+    def _count_descend(self, level: int, slab_start: int, bounds: List[int],
+                       thresholds: List[Tuple[Optional[int], int]],
+                       lo: int, hi: int) -> int:
+        run_len = self.fanout ** level
+        slab_stop = min(slab_start + run_len, self.n)
+        if slab_stop <= lo or hi <= slab_start:
+            return 0
+        if lo <= slab_start and slab_stop <= hi:
+            return sum(sign * bound
+                       for (_, sign), bound in zip(thresholds, bounds))
+        child_bounds = self._cascade_bounds(level, slab_start, bounds,
+                                            thresholds)
+        child_len = run_len // self.fanout
+        total = 0
+        for c in range(self.fanout):
+            child_start = slab_start + c * child_len
+            if child_start >= slab_stop:
+                break
+            total += self._count_descend(level - 1, child_start,
+                                         child_bounds[c], thresholds, lo, hi)
+        return total
+
+    def count_below(self, lo: int, hi: int, threshold: int) -> int:
+        """Entries in slab range ``[lo, hi)`` with key strictly below
+        ``threshold`` — the Section 4.2 distinct-count query."""
+        return self.count([(lo, hi)], [(None, threshold)])
+
+    def aggregate(self, slab_ranges: SlabRanges, key_below: int) -> Any:
+        """Merge the aggregate states of all entries in ``slab_ranges``
+        with key strictly below ``key_below`` (Section 4.3).
+
+        Returns the *finalized* aggregate value. Requires the tree to have
+        been built with ``aggregate=...`` and ``payload=...``.
+        """
+        spec = self.aggregate_spec
+        if spec is None:
+            raise ValueError("tree was built without aggregate annotations")
+        slab_ranges = self._normalize_slab_ranges(slab_ranges)
+        thresholds: List[Tuple[Optional[int], int]] = [(int(key_below), +1)]
+        state = spec.identity
+        if self.n == 0 or not slab_ranges:
+            return spec.finalize(state)
+        top_level, _ = self._top()
+        top_bounds = [self._lower_bound_top(key_below)]
+        for lo, hi in slab_ranges:
+            state = self._aggregate_descend(top_level, 0, top_bounds,
+                                            thresholds, lo, hi, state)
+        return spec.finalize(state)
+
+    def _aggregate_descend(self, level: int, slab_start: int,
+                           bounds: List[int],
+                           thresholds: List[Tuple[Optional[int], int]],
+                           lo: int, hi: int, state: Any) -> Any:
+        spec = self.aggregate_spec
+        run_len = self.fanout ** level
+        slab_stop = min(slab_start + run_len, self.n)
+        if slab_stop <= lo or hi <= slab_start:
+            return state
+        if lo <= slab_start and slab_stop <= hi:
+            bound = bounds[0]
+            if bound > 0:
+                prefix = self.levels.agg_prefix[level]
+                state = spec.merge(state, prefix[slab_start + bound - 1])
+            return state
+        child_bounds = self._cascade_bounds(level, slab_start, bounds,
+                                            thresholds)
+        child_len = run_len // self.fanout
+        for c in range(self.fanout):
+            child_start = slab_start + c * child_len
+            if child_start >= slab_stop:
+                break
+            state = self._aggregate_descend(level - 1, child_start,
+                                            child_bounds[c], thresholds,
+                                            lo, hi, state)
+        return state
+
+    def select(self, k: int, key_ranges: KeyRanges) -> Tuple[int, int]:
+        """The ``k``-th (0-based, in slab order) entry whose key falls in
+        ``key_ranges``. Returns ``(slab_position, key_value)``.
+
+        For a percentile tree built over the permutation array, the slab
+        order is the function order and the key is the frame position, so
+        ``select(k, frame_ranges)`` finds the k-th smallest value inside
+        the frame (Section 4.5, Figure 7).
+        """
+        if k < 0:
+            raise IndexError("select index must be non-negative")
+        thresholds = self._thresholds(key_ranges)
+        if self.n == 0:
+            raise IndexError("select from an empty tree")
+        level, _ = self._top()
+        slab_start = 0
+        bounds = [self._lower_bound_top(t) for t, _ in thresholds]
+        qualifying = sum(sign * b for (_, sign), b in zip(thresholds, bounds))
+        if k >= qualifying:
+            raise IndexError(
+                f"select index {k} out of range ({qualifying} qualifying)")
+        remaining = k
+        while level > 0:
+            child_bounds = self._cascade_bounds(level, slab_start, bounds,
+                                                thresholds)
+            child_len = self.fanout ** (level - 1)
+            for c in range(self.fanout):
+                child_start = slab_start + c * child_len
+                if child_start >= self.n:
+                    break
+                count_c = sum(sign * b for (_, sign), b
+                              in zip(thresholds, child_bounds[c]))
+                if remaining < count_c:
+                    slab_start = child_start
+                    bounds = child_bounds[c]
+                    break
+                remaining -= count_c
+            else:  # pragma: no cover - guarded by the qualifying check
+                raise AssertionError("descent failed to find a child")
+            level -= 1
+        return slab_start, int(self.levels.keys[0][slab_start])
+
+    def count_qualifying(self, key_ranges: KeyRanges) -> int:
+        """Total entries whose key falls in ``key_ranges``."""
+        return self.count([(0, self.n)], key_ranges)

@@ -1,0 +1,26 @@
+"""Order statistic trees (counted B-trees) — the serial holistic baseline.
+
+Cormen et al. [17] describe order statistic trees; the paper benchmarks a
+standalone windowed-percentile implementation built on Simon Tatham's
+counted B-trees [35]. :class:`CountedBTree` is a faithful reimplementation:
+a B-tree whose nodes cache subtree sizes, giving O(log n) insert, delete,
+k-th element and rank queries. :mod:`repro.ostree.windowed` wraps it into
+sliding-frame percentile/rank evaluation: rows are inserted as they enter
+the frame and deleted as they leave — O(n log n) serially, but the
+aggregation state makes it non-parallelisable under task-based
+parallelism (Section 3.2).
+"""
+
+from repro.ostree.cbtree import CountedBTree
+from repro.ostree.windowed import (
+    windowed_kth_ostree,
+    windowed_percentile_ostree,
+    windowed_rank_ostree,
+)
+
+__all__ = [
+    "CountedBTree",
+    "windowed_kth_ostree",
+    "windowed_percentile_ostree",
+    "windowed_rank_ostree",
+]

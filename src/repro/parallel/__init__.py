@@ -1,0 +1,34 @@
+"""Task-based parallel execution cost model (Sections 3.2, 5.2, 5.5).
+
+The paper's parallelisation results hinge on *task-based* (morsel-driven
+[26]) parallelism: work is cut into fixed-size tasks (Hyper uses 20 000
+tuples) executed by a worker pool. Algorithms that carry aggregation
+state across rows must rebuild that state at every task boundary, which
+is what pushes incremental algorithms to O(n^2) under parallel execution
+while merge sort trees stay embarrassingly parallel after an O(n log n)
+build.
+
+Pure-Python threads cannot demonstrate real multi-core speedups (GIL),
+so this package *models* the machine instead: per-algorithm operation
+counts are decomposed into parallel build phases and per-task probe
+costs, and a list scheduler computes the makespan on a configurable
+worker pool. The model is calibrated so the merge sort tree's simulated
+peak matches the paper's ~9.5 M tuples/s on the 20-core machine, making
+relative shapes (crossovers, plateaus) directly comparable to Figures
+10-12. DESIGN.md documents this substitution.
+"""
+
+from repro.parallel.model import MachineModel, SimulationResult, makespan
+from repro.parallel.costs import ALGORITHMS, WindowWorkload, algorithm_tasks
+from repro.parallel.simulate import simulate, throughput_series
+
+__all__ = [
+    "ALGORITHMS",
+    "MachineModel",
+    "SimulationResult",
+    "WindowWorkload",
+    "algorithm_tasks",
+    "makespan",
+    "simulate",
+    "throughput_series",
+]

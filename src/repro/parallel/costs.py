@@ -1,0 +1,154 @@
+"""Per-algorithm operation-count models.
+
+Counts abstract operations per the algorithms' published complexities
+(Table 1), decomposed into a perfectly-parallel build portion and
+per-task probe portions. State-carrying algorithms (incremental, order
+statistic tree) pay a state re-buildup at every task boundary — the
+Section 3.2 effect; under serial execution (one task) they pay it once.
+
+Constant factors (``_C``) weight the relative cost of a hash-table
+update, an array shift, a pointer-chasing tree operation and a
+cache-friendly binary search; they are fixed across all figures so that
+only the workload parameters vary between experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class WindowWorkload:
+    """One framed-window evaluation problem.
+
+    ``avg_delta`` is the average number of rows entering plus leaving the
+    frame between consecutive rows: 2 for monotonic sliding frames, and
+    ``2 * (1 + m * E|jitter|)`` for the Figure 12 non-monotonic frames.
+    """
+
+    n: int
+    frame_size: float
+    avg_delta: float = 2.0
+
+    @property
+    def log_n(self) -> float:
+        """log2 of the input size (clamped at 1)."""
+        return math.log2(max(self.n, 2))
+
+    @property
+    def log_frame(self) -> float:
+        """log2 of the frame size (clamped at 1)."""
+        return math.log2(max(self.frame_size, 2))
+
+
+# Constant factors, calibrated ONCE so the model reproduces the paper's
+# published operating points on its 20-core / 40-thread machine: the
+# merge sort tree peak of ~9.5M tuples/s, and the Figure 11 crossover
+# frame sizes (naive ~130, incremental ~700, order statistic tree
+# ~20 000, incremental distinct ~50 000). All figures reuse these values
+# unchanged; only workload parameters vary between experiments.
+_C = {
+    "sort": 1.0,        # comparison in a cache-friendly sort
+    "tree_build": 0.8,  # merging one element during MST construction
+    "mst_probe": 1.6,   # one binary-search step during an MST probe
+    "hash": 17.0,       # one hash-table update (incremental distinct)
+    "shift": 0.09,      # moving one element in a contiguous array
+    "btree": 1.3,       # one B-tree level during insert/delete/select
+    "seg_probe": 2.0,   # one segment-tree probe step
+    "scan": 0.08,       # touching one value in a naive rescan
+}
+
+
+def _tasks(n: int, task_size: int) -> List[int]:
+    """Task sizes covering n rows."""
+    full, rest = divmod(n, task_size)
+    sizes = [task_size] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+CostFn = Callable[[WindowWorkload, int, bool], Tuple[float, List[float]]]
+
+
+def _mst(w: WindowWorkload, task_size: int, serial: bool):
+    build = (_C["sort"] * w.n * w.log_n
+             + _C["tree_build"] * w.n * w.log_n)
+    probes = [_C["mst_probe"] * t * w.log_n
+              for t in _tasks(w.n, task_size)]
+    return build, probes
+
+
+def _naive_distinct(w: WindowWorkload, task_size: int, serial: bool):
+    per_row = _C["hash"] * w.frame_size
+    return 0.0, [per_row * t for t in _tasks(w.n, task_size)]
+
+
+def _naive_rank(w: WindowWorkload, task_size: int, serial: bool):
+    per_row = _C["scan"] * w.frame_size
+    return 0.0, [per_row * t for t in _tasks(w.n, task_size)]
+
+
+def _naive_median(w: WindowWorkload, task_size: int, serial: bool):
+    per_row = _C["scan"] * w.frame_size * w.log_frame
+    return 0.0, [per_row * t for t in _tasks(w.n, task_size)]
+
+
+def _incremental_distinct(w: WindowWorkload, task_size: int, serial: bool):
+    rebuild = _C["hash"] * w.frame_size
+    per_row = _C["hash"] * w.avg_delta
+    if serial:
+        return 0.0, [rebuild + per_row * w.n]
+    return 0.0, [rebuild + per_row * t for t in _tasks(w.n, task_size)]
+
+
+def _incremental_median(w: WindowWorkload, task_size: int, serial: bool):
+    rebuild = _C["sort"] * w.frame_size * w.log_frame
+    per_update = _C["shift"] * w.frame_size / 2 + _C["sort"] * w.log_frame
+    per_row = w.avg_delta * per_update
+    if serial:
+        return 0.0, [rebuild + per_row * w.n]
+    return 0.0, [rebuild + per_row * t for t in _tasks(w.n, task_size)]
+
+
+def _ostree_median(w: WindowWorkload, task_size: int, serial: bool):
+    rebuild = _C["btree"] * w.frame_size * w.log_frame
+    per_row = _C["btree"] * (w.avg_delta + 1) * w.log_frame
+    if serial:
+        return 0.0, [rebuild + per_row * w.n]
+    return 0.0, [rebuild + per_row * t for t in _tasks(w.n, task_size)]
+
+
+def _segtree_median(w: WindowWorkload, task_size: int, serial: bool):
+    build = _C["sort"] * w.n * w.log_n
+    probes = [_C["seg_probe"] * t * w.log_n ** 2
+              for t in _tasks(w.n, task_size)]
+    return build, probes
+
+
+ALGORITHMS: Dict[str, CostFn] = {
+    "mst": _mst,
+    "naive_distinct": _naive_distinct,
+    "naive_median": _naive_median,
+    "naive_rank": _naive_rank,       # one comparison per frame row
+    "naive_lead": _naive_median,     # sort frame, pick offset row
+    "incremental_distinct": _incremental_distinct,
+    "incremental_median": _incremental_median,
+    "ostree_median": _ostree_median,
+    "ostree_rank": _ostree_median,
+    "segtree_median": _segtree_median,
+}
+
+
+def algorithm_tasks(algorithm: str, workload: WindowWorkload,
+                    task_size: int = 20_000,
+                    serial: bool = False) -> Tuple[float, List[float]]:
+    """``(parallel_build_ops, per_task_probe_ops)`` for one algorithm."""
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: "
+                         f"{sorted(ALGORITHMS)}") from None
+    return fn(workload, task_size, serial)

@@ -1,0 +1,80 @@
+"""Machine model and makespan scheduling."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def makespan(task_costs: Sequence[float], workers: int) -> float:
+    """List-schedule tasks (in submission order) onto ``workers`` and
+    return the finish time — the greedy policy of a morsel-driven worker
+    pool pulling tasks from a queue."""
+    if not task_costs:
+        return 0.0
+    if workers <= 1:
+        return float(sum(task_costs))
+    heap: List[float] = [0.0] * workers
+    for cost in task_costs:
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + float(cost))
+    return max(heap)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """The evaluation machine of Section 6.1, abstracted.
+
+    * ``workers`` — hardware threads participating in task execution
+      (the paper's box has 20 cores / 40 hardware threads);
+    * ``task_size`` — tuples per task (Hyper cuts 20 000-tuple tasks);
+    * ``unit_ns`` — nanoseconds per abstract operation; the default is
+      calibrated so a merge sort tree window over ~6M rows lands at the
+      paper's ~9.5M tuples/s peak.
+    """
+
+    workers: int = 40
+    task_size: int = 20_000
+    unit_ns: float = 53.0
+
+    def seconds(self, ops: float) -> float:
+        """Convert abstract operations to seconds of one core."""
+        return ops * self.unit_ns * 1e-9
+
+    def schedule(self, parallel_ops: float,
+                 task_ops: Sequence[float]) -> "SimulationResult":
+        """``parallel_ops`` is perfectly divisible work (e.g. a parallel
+        sort/build); ``task_ops`` are per-task probe costs."""
+        build_time = self.seconds(parallel_ops) / self.workers
+        probe_time = self.seconds(makespan(task_ops, self.workers))
+        total = self.seconds(parallel_ops + float(sum(task_ops)))
+        return SimulationResult(
+            total_work_ops=parallel_ops + float(sum(task_ops)),
+            total_cpu_seconds=total,
+            wall_seconds=build_time + probe_time,
+            workers=self.workers,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated window evaluation."""
+
+    total_work_ops: float
+    total_cpu_seconds: float
+    wall_seconds: float
+    workers: int
+
+    def throughput(self, rows: int) -> float:
+        """Output tuples per second of wall time."""
+        if self.wall_seconds == 0:
+            return float("inf")
+        return rows / self.wall_seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """CPU seconds over (wall seconds x workers); 1.0 is perfect."""
+        if self.wall_seconds == 0:
+            return 1.0
+        return self.total_cpu_seconds / (self.wall_seconds * self.workers)

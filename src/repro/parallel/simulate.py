@@ -1,0 +1,68 @@
+"""Simulated multi-core throughput for the benchmark figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.parallel.costs import WindowWorkload, algorithm_tasks
+from repro.parallel.model import MachineModel, SimulationResult
+
+DEFAULT_MACHINE = MachineModel()
+
+
+def simulate(algorithm: str, workload: WindowWorkload,
+             machine: MachineModel = DEFAULT_MACHINE,
+             serial: bool = False) -> SimulationResult:
+    """Simulate one framed-window evaluation.
+
+    ``serial=True`` runs everything on one worker as a single task, which
+    lets state-carrying algorithms keep their state across the whole
+    input (their best case).
+    """
+    build, tasks = algorithm_tasks(algorithm, workload,
+                                   task_size=machine.task_size,
+                                   serial=serial)
+    if serial:
+        machine = MachineModel(workers=1, task_size=machine.task_size,
+                               unit_ns=machine.unit_ns)
+    return machine.schedule(build, tasks)
+
+
+def throughput_series(algorithm: str, workloads: Iterable[WindowWorkload],
+                      machine: MachineModel = DEFAULT_MACHINE,
+                      serial: bool = False) -> List[float]:
+    """Tuples/second for a sweep of workloads (one figure series)."""
+    out = []
+    for workload in workloads:
+        result = simulate(algorithm, workload, machine=machine,
+                          serial=serial)
+        out.append(result.throughput(workload.n))
+    return out
+
+
+def crossover_point(algorithm_a: str, algorithm_b: str,
+                    workloads: Iterable[WindowWorkload],
+                    machine: MachineModel = DEFAULT_MACHINE
+                    ) -> Optional[WindowWorkload]:
+    """First workload in the sweep where ``algorithm_b`` overtakes
+    ``algorithm_a`` (None if it never does)."""
+    for workload in workloads:
+        a = simulate(algorithm_a, workload, machine=machine)
+        b = simulate(algorithm_b, workload, machine=machine)
+        if b.throughput(workload.n) > a.throughput(workload.n):
+            return workload
+    return None
+
+
+def summary_row(algorithm: str, workload: WindowWorkload,
+                machine: MachineModel = DEFAULT_MACHINE) -> Dict[str, float]:
+    """Parallel vs serial throughput summary for one workload."""
+    parallel = simulate(algorithm, workload, machine=machine)
+    serial = simulate(algorithm, workload, machine=machine, serial=True)
+    return {
+        "n": workload.n,
+        "frame": workload.frame_size,
+        "parallel_tuples_per_s": parallel.throughput(workload.n),
+        "serial_tuples_per_s": serial.throughput(workload.n),
+        "parallel_efficiency": parallel.parallel_efficiency,
+    }

@@ -1,0 +1,84 @@
+"""Real-thread task execution for the embarrassingly parallel phases.
+
+The paper's probe phase shares a read-only merge sort tree between
+threads (Section 5.2). This module provides the same structure with a
+Python thread pool: query arrays are cut into fixed-size tasks (the
+morsel model) and each task runs a numpy-batched probe. CPython's GIL
+limits the achievable speedup to whatever fraction of the work happens
+inside GIL-releasing numpy kernels — the ablation benchmark measures
+and reports that honestly; the *scalability model* for the paper's
+figures lives in :mod:`repro.parallel.simulate`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mst.build import TreeLevels
+from repro.mst.vectorized import batched_count, batched_select
+
+
+def task_slices(n: int, task_size: int) -> List[Tuple[int, int]]:
+    """Cut ``n`` query rows into ``[lo, hi)`` tasks of ``task_size``."""
+    return [(start, min(start + task_size, n))
+            for start in range(0, n, task_size)]
+
+
+def threaded_map(worker: Callable[[int, int], np.ndarray], n: int,
+                 workers: int = 4, task_size: int = 20_000) -> np.ndarray:
+    """Run ``worker(lo, hi)`` over task slices on a thread pool and
+    concatenate the per-task result arrays in order."""
+    slices = task_slices(n, task_size)
+    if workers <= 1 or len(slices) <= 1:
+        parts = [worker(lo, hi) for lo, hi in slices]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(lambda s: worker(*s), slices))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def threaded_batched_count(levels: TreeLevels, lo: np.ndarray,
+                           hi: np.ndarray, key_hi: np.ndarray,
+                           key_lo: Optional[np.ndarray] = None,
+                           workers: int = 4,
+                           task_size: int = 20_000) -> np.ndarray:
+    """:func:`repro.mst.vectorized.batched_count` with the query rows
+    spread over a thread pool; the tree is shared read-only."""
+
+    def worker(a: int, b: int) -> np.ndarray:
+        return batched_count(
+            levels, lo[a:b], hi[a:b], key_hi[a:b],
+            key_lo=None if key_lo is None else key_lo[a:b])
+
+    return threaded_map(worker, len(lo), workers=workers,
+                        task_size=task_size)
+
+
+def threaded_batched_select(levels: TreeLevels, k: np.ndarray,
+                            key_lo: np.ndarray, key_hi: np.ndarray,
+                            workers: int = 4,
+                            task_size: int = 20_000
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+    """Threaded variant of :func:`repro.mst.vectorized.batched_select`."""
+    n = len(k)
+    slices = task_slices(n, task_size)
+
+    def worker(a: int, b: int):
+        return batched_select(levels, k[a:b], key_lo[a:b], key_hi[a:b])
+
+    if workers <= 1 or len(slices) <= 1:
+        parts = [worker(lo, hi) for lo, hi in slices]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(lambda s: worker(*s), slices))
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    slabs = np.concatenate([p[0] for p in parts])
+    keys = np.concatenate([p[1] for p in parts])
+    return slabs, keys

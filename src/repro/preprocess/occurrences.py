@@ -1,0 +1,188 @@
+"""Previous/next occurrence indices (Algorithm 1) and occurrence lists.
+
+``previous_occurrence`` is the paper's Algorithm 1: annotate each value
+with its position, sort lexicographically (a stable sort by value), and
+read the previous occurrence of every duplicate off the neighbouring
+sorted entry. The sort-based formulation is what makes the step
+parallelisable; for non-sortable (hashable-only) payloads we fall back to
+a single dictionary sweep, which is the classic hash formulation of the
+same computation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+NO_PREVIOUS = -1
+"""Sentinel for "value appears for the first time" (the paper's "–").
+
+Section 5.1 packs this as 0 with all real indices shifted by one; we keep
+-1 at the API level and let the tree layer choose the physical encoding.
+"""
+
+
+def _is_sortable_array(values: Any) -> bool:
+    return isinstance(values, np.ndarray) and (
+        np.issubdtype(values.dtype, np.integer)
+        or np.issubdtype(values.dtype, np.floating)
+        or np.issubdtype(values.dtype, np.bool_))
+
+
+def previous_occurrence(values: Any,
+                        validity: Any = None) -> np.ndarray:
+    """``out[i]`` = largest j < i with ``values[j] == values[i]``, else -1.
+
+    NULL entries (``validity[i]`` false) are treated as duplicates of each
+    other, matching SQL DISTINCT semantics where NULL contributes at most
+    one group.
+    """
+    n = len(values)
+    out = np.full(n, NO_PREVIOUS, dtype=np.int64)
+    if n == 0:
+        return out
+    if validity is not None:
+        validity = np.asarray(validity, dtype=np.bool_)
+    if _is_sortable_array(values) and validity is None:
+        # Algorithm 1: stable sort by value, previous occurrence is the
+        # sorted neighbour when values match.
+        positions = np.arange(n, dtype=np.int64)
+        order = np.lexsort((positions, values))
+        sorted_values = values[order]
+        same = sorted_values[1:] == sorted_values[:-1]
+        out[order[1:][same]] = order[:-1][same]
+        return out
+    last_seen: Dict[Any, int] = {}
+    null_seen = -1
+    for i in range(n):
+        if validity is not None and not validity[i]:
+            if null_seen >= 0:
+                out[i] = null_seen
+            null_seen = i
+            continue
+        value = values[i]
+        if isinstance(value, np.generic):
+            value = value.item()
+        if value in last_seen:
+            out[i] = last_seen[value]
+        last_seen[value] = i
+    return out
+
+
+def next_occurrence(values: Any, validity: Any = None) -> np.ndarray:
+    """``out[i]`` = smallest j > i with ``values[j] == values[i]``, else n.
+
+    The mirror of Algorithm 1, used for the EXCLUDE-clause correction of
+    framed distinct aggregates (Section 4.7).
+    """
+    n = len(values)
+    out = np.full(n, n, dtype=np.int64)
+    if n == 0:
+        return out
+    if validity is not None:
+        validity = np.asarray(validity, dtype=np.bool_)
+    if _is_sortable_array(values) and validity is None:
+        positions = np.arange(n, dtype=np.int64)
+        order = np.lexsort((positions, values))
+        sorted_values = values[order]
+        same = sorted_values[1:] == sorted_values[:-1]
+        out[order[:-1][same]] = order[1:][same]
+        return out
+    next_seen: Dict[Any, int] = {}
+    null_seen = n
+    for i in range(n - 1, -1, -1):
+        if validity is not None and not validity[i]:
+            if null_seen < n:
+                out[i] = null_seen
+            null_seen = i
+            continue
+        value = values[i]
+        if isinstance(value, np.generic):
+            value = value.item()
+        if value in next_seen:
+            out[i] = next_seen[value]
+        next_seen[value] = i
+    return out
+
+
+def previous_occurrence_by_hash(values: Sequence[Any],
+                                validity: Any = None) -> np.ndarray:
+    """Algorithm 1 on *hashes* — the Section 6.7 implementation.
+
+    To stay independent of SQL types, Hyper sorts (hash, position) pairs
+    instead of the values themselves. Sorting by hash clusters equal
+    values; hash collisions can interleave unequal values inside a run,
+    so within each equal-hash run the previous occurrence is found with
+    actual equality checks against a per-run last-seen table. Exact for
+    any hashable type, and sort-based (hence parallelisable) like the
+    integer fast path.
+    """
+    n = len(values)
+    out = np.full(n, NO_PREVIOUS, dtype=np.int64)
+    if n == 0:
+        return out
+    if validity is not None:
+        validity = np.asarray(validity, dtype=np.bool_)
+    hashes = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        if validity is not None and not validity[i]:
+            hashes[i] = -(2 ** 62)  # all NULLs form one run
+        else:
+            hashes[i] = hash(values[i])
+    order = np.lexsort((np.arange(n, dtype=np.int64), hashes))
+    sorted_hashes = hashes[order]
+    run_start = 0
+    for i in range(1, n + 1):
+        if i < n and sorted_hashes[i] == sorted_hashes[run_start]:
+            continue
+        run = order[run_start:i]
+        if len(run) > 1:
+            last_seen: Dict[Any, int] = {}
+            null_seen = -1
+            for position in run:  # ascending original positions
+                if validity is not None and not validity[position]:
+                    if null_seen >= 0:
+                        out[position] = null_seen
+                    null_seen = position
+                    continue
+                value = values[position]
+                if isinstance(value, np.generic):
+                    value = value.item()
+                if value in last_seen:
+                    out[position] = last_seen[value]
+                last_seen[value] = position
+        run_start = i
+    return out
+
+
+class occurrence_lists:
+    """Per-value sorted position lists with range membership queries."""
+
+    def __init__(self, values: Sequence[Any], validity: Any = None) -> None:
+        self._positions: Dict[Any, List[int]] = {}
+        null_positions: List[int] = []
+        for i in range(len(values)):
+            if validity is not None and not validity[i]:
+                null_positions.append(i)
+                continue
+            value = values[i]
+            if isinstance(value, np.generic):
+                value = value.item()
+            self._positions.setdefault(value, []).append(i)
+        self._null_positions = null_positions
+
+    def positions(self, value: Any, is_null: bool = False) -> List[int]:
+        if is_null:
+            return self._null_positions
+        return self._positions.get(value, [])
+
+    def occurs_in(self, value: Any, lo: int, hi: int,
+                  is_null: bool = False) -> bool:
+        """Does ``value`` occur at any position in ``[lo, hi)``?"""
+        if lo >= hi:
+            return False
+        positions = self.positions(value, is_null)
+        idx = bisect.bisect_left(positions, lo)
+        return idx < len(positions) and positions[idx] < hi

@@ -1,0 +1,37 @@
+"""Permutation arrays for percentiles and value functions (Section 4.5).
+
+The window operator's rows are physically sorted by the frame order. The
+*permutation array* re-sorts them by the function-level ORDER BY while
+remembering their frame positions: ``perm[j]`` is the frame position of
+the ``j``-th smallest row under the function order. Finding the i-th
+smallest value inside any frame then reduces to finding the i-th entry of
+``perm`` that points into the frame — a merge-sort-tree select query.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sortutil import SortColumn, stable_argsort
+
+
+def permutation_array(columns: Sequence[SortColumn], n: int) -> np.ndarray:
+    """``perm[j]`` = frame position of the j-th row in function order.
+
+    Ties are broken by frame position (stable), which gives value
+    functions deterministic NTH_VALUE semantics.
+    """
+    return stable_argsort(columns, n)
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """``inv[frame_position]`` = position in function order.
+
+    Needed by LEAD/LAG (Section 4.6): the current row's own position in
+    the function order is the starting point for the offset arithmetic.
+    """
+    inv = np.empty(len(perm), dtype=np.int64)
+    inv[perm] = np.arange(len(perm), dtype=np.int64)
+    return inv

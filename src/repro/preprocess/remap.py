@@ -1,0 +1,57 @@
+"""Index remapping for FILTER and IGNORE NULLS (Sections 4.5 and 4.7).
+
+Rows excluded by a FILTER clause or by IGNORE NULLS never enter the merge
+sort tree; frame bounds computed on the full input must be translated to
+the filtered coordinate space, and selected filtered positions translated
+back. Both directions are O(1) per lookup after an O(n) prefix pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class IndexRemap:
+    """Bidirectional mapping between full and filtered row positions."""
+
+    def __init__(self, keep: np.ndarray) -> None:
+        keep = np.asarray(keep, dtype=np.bool_)
+        self.n_full = len(keep)
+        self._kept_positions = np.flatnonzero(keep).astype(np.int64)
+        # prefix[i] = number of kept rows in [0, i)
+        self._prefix = np.zeros(self.n_full + 1, dtype=np.int64)
+        np.cumsum(keep, out=self._prefix[1:])
+
+    @property
+    def n_filtered(self) -> int:
+        return len(self._kept_positions)
+
+    def to_filtered_bound(self, position: int) -> int:
+        """Translate a full-space boundary into filtered space.
+
+        Half-open bounds translate to half-open bounds: the number of
+        kept rows strictly before ``position``.
+        """
+        position = min(max(position, 0), self.n_full)
+        return int(self._prefix[position])
+
+    def bounds_to_filtered(self, lo: int, hi: int) -> Tuple[int, int]:
+        return self.to_filtered_bound(lo), self.to_filtered_bound(hi)
+
+    def bounds_array_to_filtered(self, bounds: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_filtered_bound` over an array of bounds."""
+        clipped = np.clip(bounds, 0, self.n_full)
+        return self._prefix[clipped]
+
+    def to_full(self, filtered_position: int) -> int:
+        """The original position of the filtered row ``filtered_position``."""
+        return int(self._kept_positions[filtered_position])
+
+    def to_full_array(self, filtered_positions: np.ndarray) -> np.ndarray:
+        return self._kept_positions[np.asarray(filtered_positions,
+                                               dtype=np.int64)]
+
+    def is_kept(self, position: int) -> bool:
+        return bool(self._prefix[position + 1] - self._prefix[position])

@@ -1,0 +1,22 @@
+"""Windowed MODE — the holistic aggregate outside the MST's reach.
+
+Wesley & Xu's incremental framework covers distinct counts, percentiles
+*and modes*; the paper's related-work section points to the range-mode
+structures of Krizanc et al. [25] and Chan et al. [13] (O(n) space,
+O(sqrt n) query). A mode cannot be phrased as a 2-d range count, so the
+merge sort tree does not apply — this package supplies the classic
+sqrt-decomposition range-mode index instead, plus the naive and
+incremental competitors, rounding out the full holistic-aggregate zoo:
+
+* :class:`RangeModeIndex` — O(n + s^2) precomputation (s = n / block),
+  O(block + n/block) per query; with the canonical block ~ sqrt(n) this
+  is the textbook O(sqrt n)-per-query structure;
+* :class:`IncrementalMode` — Wesley & Xu-style frame-following counter
+  table with O(1) mode maintenance on insert and lazy recomputation on
+  the (rare) decrements that dethrone the mode.
+"""
+
+from repro.rangemode.index import RangeModeIndex
+from repro.rangemode.incremental import IncrementalMode, windowed_mode
+
+__all__ = ["IncrementalMode", "RangeModeIndex", "windowed_mode"]

@@ -1,0 +1,96 @@
+"""Incremental windowed mode (Wesley & Xu's frame-following style).
+
+A counter table follows the frame; a count-bucket structure keeps the
+maximum multiplicity current in O(1) per update. Reading the mode out of
+the top bucket applies the shared tie rule (first-appearing value wins),
+which costs O(|top bucket|) — the same lazy-read trade-off the original
+incremental algorithms make.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class IncrementalMode:
+    """Mode of an evolving ``[lo, hi)`` row window."""
+
+    def __init__(self, values: Sequence[Any]) -> None:
+        self.values = values
+        self._first_seen: Dict[Any, int] = {}
+        for position, value in enumerate(values):
+            if value not in self._first_seen:
+                self._first_seen[value] = position
+        self.counts: Dict[Any, int] = {}
+        self.by_count: Dict[int, Set[Any]] = {}
+        self.max_count = 0
+        self.lo = 0
+        self.hi = 0
+        self.work = 0
+
+    def _add(self, row: int) -> None:
+        value = self.values[row]
+        old = self.counts.get(value, 0)
+        if old:
+            self.by_count[old].discard(value)
+        new = old + 1
+        self.counts[value] = new
+        self.by_count.setdefault(new, set()).add(value)
+        if new > self.max_count:
+            self.max_count = new
+        self.work += 1
+
+    def _remove(self, row: int) -> None:
+        value = self.values[row]
+        old = self.counts[value]
+        self.by_count[old].discard(value)
+        if old == 1:
+            del self.counts[value]
+        else:
+            self.counts[value] = old - 1
+            self.by_count.setdefault(old - 1, set()).add(value)
+        if old == self.max_count and not self.by_count[old]:
+            self.max_count -= 1
+        self.work += 1
+
+    def move_to(self, lo: int, hi: int) -> None:
+        lo = max(lo, 0)
+        hi = max(hi, lo)
+        if lo >= self.hi or hi <= self.lo:
+            self.work += self.hi - self.lo
+            self.counts.clear()
+            self.by_count.clear()
+            self.max_count = 0
+            self.lo, self.hi = lo, lo
+        while self.hi < hi:
+            self._add(self.hi)
+            self.hi += 1
+        while self.lo > lo:
+            self.lo -= 1
+            self._add(self.lo)
+        while self.hi > hi:
+            self.hi -= 1
+            self._remove(self.hi)
+        while self.lo < lo:
+            self._remove(self.lo)
+            self.lo += 1
+
+    def mode(self) -> Tuple[Optional[Any], int]:
+        if self.max_count == 0:
+            return None, 0
+        bucket = self.by_count[self.max_count]
+        winner = min(bucket, key=self._first_seen.__getitem__)
+        return winner, self.max_count
+
+
+def windowed_mode(values: Sequence[Any], start: np.ndarray,
+                  end: np.ndarray) -> List[Optional[Any]]:
+    """Framed MODE over continuous frames, incrementally."""
+    state = IncrementalMode(values)
+    out: List[Optional[Any]] = []
+    for i in range(len(start)):
+        state.move_to(int(start[i]), int(end[i]))
+        out.append(state.mode()[0])
+    return out

@@ -1,0 +1,113 @@
+"""Sqrt-decomposition range mode index (Krizanc et al. [25]).
+
+Values are densified to ids in first-appearance order; the mode of any
+range is reported as ``(value, count)`` with ties broken towards the
+value that appeared first in the input — a deterministic rule shared by
+all three mode implementations in this package.
+
+Precomputation stores the mode of every *block span* (O((n/b)^2)
+entries, O(n^2/b) build time); a query combines the central span's mode
+with exact occurrence counts (bisect on per-value position lists) for
+the at most ``2b`` values seen in the partial edge blocks. With the
+default block size ~sqrt(n) this is the textbook O(sqrt n * log n) per
+query / O(n) extra space structure.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class RangeModeIndex:
+    """Static range-mode queries over a sequence of hashable values."""
+
+    def __init__(self, values: Sequence[Any],
+                 block_size: Optional[int] = None) -> None:
+        self.n = len(values)
+        ids: List[int] = []
+        self._id_of: Dict[Any, int] = {}
+        self._value_of: List[Any] = []
+        for value in values:
+            if value not in self._id_of:
+                self._id_of[value] = len(self._value_of)
+                self._value_of.append(value)
+            ids.append(self._id_of[value])
+        self._ids = ids
+        self._positions: List[List[int]] = [[] for _ in self._value_of]
+        for position, vid in enumerate(ids):
+            self._positions[vid].append(position)
+
+        if block_size is None:
+            block_size = max(int(math.sqrt(self.n)), 1)
+        self.block_size = block_size
+        num_blocks = -(-self.n // block_size) if self.n else 0
+        self._num_blocks = num_blocks
+        # span_mode[i][j - i] = (mode id, count) over blocks i..j
+        self._span_mode: List[List[Tuple[int, int]]] = []
+        counts = [0] * len(self._value_of)
+        for i in range(num_blocks):
+            row: List[Tuple[int, int]] = []
+            for c in range(len(counts)):
+                counts[c] = 0
+            best_id, best_count = -1, 0
+            position = i * block_size
+            for j in range(i, num_blocks):
+                stop = min((j + 1) * block_size, self.n)
+                while position < stop:
+                    vid = ids[position]
+                    counts[vid] += 1
+                    if counts[vid] > best_count or (
+                            counts[vid] == best_count and vid < best_id):
+                        best_id, best_count = vid, counts[vid]
+                    position += 1
+                row.append((best_id, best_count))
+            self._span_mode.append(row)
+
+    # ------------------------------------------------------------------
+    def _count_in(self, vid: int, lo: int, hi: int) -> int:
+        positions = self._positions[vid]
+        return bisect.bisect_left(positions, hi) \
+            - bisect.bisect_left(positions, lo)
+
+    def query(self, lo: int, hi: int) -> Tuple[Optional[Any], int]:
+        """``(mode_value, count)`` of ``values[lo:hi]``; ``(None, 0)``
+        for empty ranges. Ties go to the first-appearing value."""
+        lo = max(lo, 0)
+        hi = min(hi, self.n)
+        if lo >= hi:
+            return None, 0
+        b = self.block_size
+        first_full = -(-lo // b)
+        last_full = hi // b - 1
+        candidates: List[int] = []
+        best_id, best_count = -1, 0
+        if first_full <= last_full:
+            best_id, best_count = \
+                self._span_mode[first_full][last_full - first_full]
+            # The span count is exact for the span but the same value may
+            # have extra occurrences in the edge blocks:
+            best_count = self._count_in(best_id, lo, hi)
+            prefix_stop = first_full * b
+            suffix_start = (last_full + 1) * b
+        else:
+            prefix_stop = hi
+            suffix_start = hi
+        seen = set()
+        for position in range(lo, prefix_stop):
+            seen.add(self._ids[position])
+        for position in range(suffix_start, hi):
+            seen.add(self._ids[position])
+        for vid in seen:
+            count = self._count_in(vid, lo, hi)
+            if count > best_count or (count == best_count
+                                      and vid < best_id):
+                best_id, best_count = vid, count
+        if best_id < 0:
+            return None, 0
+        return self._value_of[best_id], best_count
+
+    def memory_entries(self) -> int:
+        """Precomputed span-table entries (the O((n/b)^2) term)."""
+        return sum(len(row) for row in self._span_mode)

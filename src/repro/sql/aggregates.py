@@ -1,0 +1,106 @@
+"""GROUP BY aggregate computation for the SQL executor."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SqlAnalysisError
+from repro.sql.vector import Vector
+
+AGGREGATE_NAMES = frozenset({
+    "count", "sum", "avg", "min", "max", "mode",
+    "percentile_disc", "percentile_cont", "median",
+})
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in AGGREGATE_NAMES
+
+
+def compute_aggregate(name: str, *, rows: Sequence[int], star: bool,
+                      distinct: bool, arg: Optional[Vector],
+                      order_values: Optional[Vector] = None,
+                      order_descending: bool = False,
+                      fraction: Optional[float] = None) -> Any:
+    """One aggregate over one group's row indices; returns a Python value."""
+    name = name.lower()
+    if name == "count":
+        if star:
+            return len(rows)
+        values = _valid_values(arg, rows)
+        if distinct:
+            return len(set(values))
+        return len(values)
+    if name in ("sum", "avg", "min", "max"):
+        values = _valid_values(arg, rows)
+        if distinct:
+            values = list(dict.fromkeys(values))
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "avg":
+            return float(sum(values)) / len(values)
+        if name == "min":
+            return min(values)
+        return max(values)
+    if name == "mode":
+        source = order_values if order_values is not None else arg
+        if source is None:
+            raise SqlAnalysisError("mode requires WITHIN GROUP (ORDER BY)")
+        counts: dict = {}
+        first_seen: dict = {}
+        for row in rows:
+            if not source.validity[row]:
+                continue
+            value = source.values[row]
+            if isinstance(value, np.generic):
+                value = value.item()
+            counts[value] = counts.get(value, 0) + 1
+            if value not in first_seen:
+                first_seen[value] = row
+        if not counts:
+            return None
+        return max(counts.items(),
+                   key=lambda kv: (kv[1], -first_seen[kv[0]]))[0]
+    if name in ("percentile_disc", "percentile_cont", "median"):
+        source = order_values if order_values is not None else arg
+        if source is None:
+            raise SqlAnalysisError(f"{name} requires WITHIN GROUP (ORDER BY)")
+        values = sorted(_valid_values(source, rows), reverse=order_descending)
+        if not values:
+            return None
+        if name == "median":
+            fraction_ = 0.5
+            return _percentile_cont(values, fraction_)
+        if fraction is None:
+            raise SqlAnalysisError(f"{name} requires a fraction argument")
+        if name == "percentile_disc":
+            k = max(math.ceil(fraction * len(values)) - 1, 0)
+            return values[k]
+        return _percentile_cont(values, fraction)
+    raise SqlAnalysisError(f"unknown aggregate function {name!r}")
+
+
+def _percentile_cont(values: List[Any], fraction: float) -> float:
+    position = fraction * (len(values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    weight = position - lower
+    return float(values[lower]) * (1 - weight) + float(values[upper]) * weight
+
+
+def _valid_values(vector: Optional[Vector], rows: Sequence[int]) -> List[Any]:
+    if vector is None:
+        raise SqlAnalysisError("aggregate requires an argument")
+    out = []
+    for row in rows:
+        if vector.validity[row]:
+            value = vector.values[row]
+            if isinstance(value, np.generic):
+                value = value.item()
+            out.append(value)
+    return out

@@ -1,0 +1,205 @@
+"""Abstract syntax tree node types."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int | float | str | bool | datetime.date | None
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expr):
+    days: int
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # + - * / % = <> < <= > >= and or ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # - not
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InExpr(Expr):
+    expr: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Expr):
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeExpr(Expr):
+    expr: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    else_: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    expr: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class SortItem:
+    expr: Expr
+    descending: bool = False
+    nulls_last: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call — scalar, aggregate, or (wrapped) window.
+
+    Captures the paper's extended call syntax: ``DISTINCT``, an in-call
+    ``ORDER BY`` (``rank(order by tps desc)``), ``WITHIN GROUP``,
+    ``FILTER (WHERE ...)``, ``IGNORE NULLS`` and ``FROM LAST``.
+    """
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+    distinct: bool = False
+    order_by: Tuple[SortItem, ...] = ()
+    within_group: Tuple[SortItem, ...] = ()
+    filter_where: Optional[Expr] = None
+    ignore_nulls: bool = False
+    from_last: bool = False
+    star: bool = False  # count(*)
+
+
+@dataclass(frozen=True)
+class FrameBoundAst:
+    kind: str  # unbounded_preceding | preceding | current_row | following
+               # | unbounded_following
+    offset: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class FrameAst:
+    mode: str  # rows | range | groups
+    start: FrameBoundAst
+    end: FrameBoundAst
+    exclusion: str = "no_others"  # no_others | current_row | group | ties
+
+
+@dataclass(frozen=True)
+class WindowDef:
+    partition_by: Tuple[Expr, ...] = ()
+    order_by: Tuple[SortItem, ...] = ()
+    frame: Optional[FrameAst] = None
+
+
+@dataclass(frozen=True)
+class WindowFunc(Expr):
+    func: FuncCall
+    window: Union[WindowDef, str]  # inline definition or named window
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    select: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    select: "SelectStmt"
+    negated: bool = False
+
+
+# ----------------------------------------------------------------------
+# table expressions and statements
+# ----------------------------------------------------------------------
+class TableExpr:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class NamedTable(TableExpr):
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableExpr):
+    select: "SelectStmt"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join(TableExpr):
+    left: TableExpr
+    right: TableExpr
+    kind: str = "inner"  # inner | cross | left
+    condition: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: Tuple[SelectItem, ...]
+    from_: Optional[TableExpr] = None
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    windows: Tuple[Tuple[str, WindowDef], ...] = ()
+    order_by: Tuple[SortItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    ctes: Tuple[Tuple[str, "SelectStmt"], ...] = ()

@@ -1,0 +1,36 @@
+"""Catalog: the name → table registry queries execute against."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.errors import SqlAnalysisError
+from repro.table.table import Table
+
+
+class Catalog:
+    """A case-insensitive collection of named tables."""
+
+    def __init__(self, tables: Optional[Mapping[str, Table]] = None) -> None:
+        self._tables: Dict[str, Table] = {}
+        if tables:
+            for name, table in tables.items():
+                self.register(name, table)
+
+    def register(self, name: str, table: Table) -> None:
+        self._tables[name.lower()] = table
+
+    def lookup(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SqlAnalysisError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def names(self):
+        return sorted(self._tables)

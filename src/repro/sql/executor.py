@@ -1,0 +1,1125 @@
+"""AST interpreter with vectorised expression evaluation.
+
+The executor walks a parsed :class:`~repro.sql.ast.SelectStmt` and
+evaluates it against a :class:`~repro.sql.catalog.Catalog`:
+
+* expressions evaluate column-at-a-time (numpy) with SQL NULL semantics;
+* joins run as nested loops with a vectorised inner predicate — the plan
+  shape the paper observes for the Figure 9 traditional formulations;
+* correlated scalar subqueries re-execute per outer row (also Figure 9);
+* window functions are translated to :class:`~repro.window.WindowCall` /
+  :class:`~repro.window.WindowSpec` and evaluated by the window operator,
+  including the paper's extensions (DISTINCT, function-level ORDER BY,
+  FILTER, IGNORE NULLS, arbitrary frame-bound expressions, EXCLUDE).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SqlAnalysisError
+from repro.sql import ast
+from repro.sql.aggregates import compute_aggregate, is_aggregate_name
+from repro.sql.catalog import Catalog
+from repro.sql.parser import parse
+from repro.sql.vector import (
+    Vector,
+    arithmetic,
+    cast,
+    comparison,
+    concat,
+    from_column,
+    from_scalar,
+    logical_and,
+    logical_not,
+    logical_or,
+    negate,
+    truthy_rows,
+)
+from repro.sortutil import SortColumn, stable_argsort
+from repro.table.column import Column, DataType
+from repro.table.schema import Field, Schema
+from repro.table.table import Table
+from repro.window.calls import WindowCall
+from repro.window.frame import (
+    FrameBound,
+    FrameExclusion,
+    FrameMode,
+    FrameSpec,
+    OrderItem,
+    WindowSpec,
+    current_row,
+    following,
+    preceding,
+    unbounded_following,
+    unbounded_preceding,
+)
+from repro.window.operator import WindowOperator
+
+
+# ----------------------------------------------------------------------
+# relations
+# ----------------------------------------------------------------------
+class Relation:
+    """A bag of equal-length vectors with (qualifier, name) bindings."""
+
+    def __init__(self, vectors: List[Vector],
+                 bindings: List[Tuple[Optional[str], str]]) -> None:
+        self.vectors = vectors
+        self.bindings = bindings
+
+    @property
+    def n(self) -> int:
+        return len(self.vectors[0]) if self.vectors else 0
+
+    @classmethod
+    def from_table(cls, table: Table, qualifier: Optional[str]) -> "Relation":
+        vectors = [from_column(col) for col in table.columns]
+        bindings = [(qualifier, f.name.lower()) for f in table.schema]
+        return cls(vectors, bindings)
+
+    def requalified(self, qualifier: Optional[str]) -> "Relation":
+        return Relation(list(self.vectors),
+                        [(qualifier, name) for _, name in self.bindings])
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> Optional[int]:
+        name = name.lower()
+        matches = []
+        for index, (qual, col) in enumerate(self.bindings):
+            if col != name:
+                continue
+            if qualifier is not None and qual != qualifier.lower():
+                continue
+            matches.append(index)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            where = f"{qualifier}.{name}" if qualifier else name
+            raise SqlAnalysisError(f"ambiguous column reference {where!r}")
+        return matches[0]
+
+    def add(self, vector: Vector, name: str,
+            qualifier: Optional[str] = None) -> None:
+        self.vectors.append(vector)
+        self.bindings.append((qualifier, name.lower()))
+
+    def take(self, rows: np.ndarray) -> "Relation":
+        return Relation([v.take(rows) for v in self.vectors],
+                        list(self.bindings))
+
+    def concat_columns(self, other: "Relation") -> "Relation":
+        return Relation(self.vectors + other.vectors,
+                        self.bindings + other.bindings)
+
+
+class OuterRow:
+    """One row of an enclosing query, visible to correlated subqueries."""
+
+    def __init__(self, relation: Relation, row: int,
+                 parent: Optional["OuterRow"] = None,
+                 usage: Optional[List[bool]] = None) -> None:
+        self.relation = relation
+        self.row = row
+        self.parent = parent
+        self.usage = usage
+
+    def lookup(self, name: str,
+               qualifier: Optional[str]) -> Optional[Tuple[Vector, int]]:
+        index = self.relation.resolve(name, qualifier)
+        if index is not None:
+            if self.usage is not None:
+                self.usage[0] = True
+            return self.relation.vectors[index], self.row
+        if self.parent is not None:
+            return self.parent.lookup(name, qualifier)
+        return None
+
+
+@dataclass
+class Context:
+    catalog: Catalog
+    ctes: Dict[str, Tuple[Relation, List[str]]] = field(default_factory=dict)
+    outer: Optional[OuterRow] = None
+
+    def child(self, **overrides: Any) -> "Context":
+        values = {"catalog": self.catalog, "ctes": dict(self.ctes),
+                  "outer": self.outer}
+        values.update(overrides)
+        return Context(**values)
+
+
+# ----------------------------------------------------------------------
+# public entry point
+# ----------------------------------------------------------------------
+def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog) -> Table:
+    """Execute a SELECT statement and return the result table."""
+    stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+    relation, names = execute_select(stmt, Context(catalog=catalog))
+    return _relation_to_table(relation, names)
+
+
+def _relation_to_table(relation: Relation, names: List[str]) -> Table:
+    used: Dict[str, int] = {}
+    fields = []
+    columns = []
+    for vector, name in zip(relation.vectors, names):
+        base = name or "col"
+        if base.lower() in used:
+            used[base.lower()] += 1
+            base = f"{base}_{used[base.lower()]}"
+        else:
+            used[base.lower()] = 0
+        column = vector.to_column()
+        fields.append(Field(base, column.dtype))
+        columns.append(column)
+    return Table.from_columns(Schema(fields), columns)
+
+
+# ----------------------------------------------------------------------
+# SELECT pipeline
+# ----------------------------------------------------------------------
+def execute_select(stmt: ast.SelectStmt,
+                   ctx: Context) -> Tuple[Relation, List[str]]:
+    if stmt.ctes:
+        ctx = ctx.child()
+        for name, select in stmt.ctes:
+            relation, names = execute_select(select, ctx)
+            ctx.ctes[name.lower()] = (relation, names)
+
+    relation = _execute_from(stmt.from_, ctx)
+
+    if stmt.where is not None:
+        mask = truthy_rows(_eval(stmt.where, relation, ctx))
+        relation = relation.take(np.flatnonzero(mask))
+
+    windows = dict(stmt.windows)
+    select_exprs = [item.expr for item in stmt.items]
+
+    has_aggregates = bool(stmt.group_by) or any(
+        _contains_aggregate(e) for e in select_exprs) or (
+            stmt.having is not None and _contains_aggregate(stmt.having))
+
+    rewritten_items: List[ast.Expr] = select_exprs
+    if has_aggregates:
+        if any(_contains_window(e) for e in select_exprs):
+            raise SqlAnalysisError(
+                "window functions combined with GROUP BY are not supported")
+        relation, mapping = _execute_aggregation(stmt, relation, ctx)
+        rewritten_items = [_replace(e, mapping) for e in select_exprs]
+        stmt = replace(stmt, order_by=tuple(
+            ast.SortItem(_replace(s.expr, mapping), s.descending,
+                         s.nulls_last) for s in stmt.order_by))
+        if stmt.having is not None:
+            having = _replace(stmt.having, mapping)
+            mask = truthy_rows(_eval(having, relation, ctx))
+            relation = relation.take(np.flatnonzero(mask))
+    elif any(_contains_window(e) for e in select_exprs) or any(
+            _contains_window(s.expr) for s in stmt.order_by):
+        relation, mapping = _execute_windows(
+            select_exprs + [s.expr for s in stmt.order_by], windows,
+            relation, ctx)
+        rewritten_items = [_replace(e, mapping) for e in select_exprs]
+        stmt = replace(stmt, order_by=tuple(
+            ast.SortItem(_replace(s.expr, mapping), s.descending,
+                         s.nulls_last) for s in stmt.order_by))
+
+    # Projection.
+    out_vectors: List[Vector] = []
+    out_names: List[str] = []
+    for item, expr in zip(stmt.items, rewritten_items):
+        if isinstance(expr, ast.Star):
+            for index, (qual, name) in enumerate(relation.bindings):
+                if name.startswith("__"):
+                    continue
+                if expr.table is not None and qual != expr.table.lower():
+                    continue
+                out_vectors.append(relation.vectors[index])
+                out_names.append(name)
+            continue
+        out_vectors.append(_eval(expr, relation, ctx))
+        out_names.append(item.alias or _derive_name(item.expr))
+    output = Relation(out_vectors,
+                      [(None, n.lower()) for n in out_names])
+
+    if stmt.distinct:
+        output = _distinct_rows(output)
+
+    if stmt.order_by:
+        output = _order_output(stmt, output, relation, ctx)
+
+    if stmt.limit is not None:
+        output = output.take(np.arange(min(stmt.limit, output.n)))
+
+    return output, out_names
+
+
+def _execute_from(from_: Optional[ast.TableExpr], ctx: Context) -> Relation:
+    if from_ is None:
+        # A single pseudo-row so expressions like SELECT 1+1 work.
+        return Relation(
+            [Vector(np.zeros(1, dtype=np.int64),
+                    np.ones(1, dtype=np.bool_), DataType.INT64)],
+            [(None, "__dual")])
+    if isinstance(from_, ast.NamedTable):
+        qualifier = (from_.alias or from_.name).lower()
+        key = from_.name.lower()
+        if key in ctx.ctes:
+            relation, _ = ctx.ctes[key]
+            return relation.requalified(qualifier)
+        table = ctx.catalog.lookup(from_.name)
+        return Relation.from_table(table, qualifier)
+    if isinstance(from_, ast.DerivedTable):
+        relation, _ = execute_select(from_.select, ctx)
+        return relation.requalified(from_.alias.lower())
+    if isinstance(from_, ast.Join):
+        return _execute_join(from_, ctx)
+    raise SqlAnalysisError(f"unsupported FROM item {type(from_).__name__}")
+
+
+def _execute_join(join: ast.Join, ctx: Context) -> Relation:
+    left = _execute_from(join.left, ctx)
+    right = _execute_from(join.right, ctx)
+    left_rows: List[np.ndarray] = []
+    right_rows: List[np.ndarray] = []
+    if join.kind == "cross" and join.condition is None:
+        for i in range(left.n):
+            left_rows.append(np.full(right.n, i, dtype=np.int64))
+            right_rows.append(np.arange(right.n, dtype=np.int64))
+    else:
+        # Nested-loop join: vectorised predicate per left row. This is
+        # the O(n^2) plan the Figure 9 baselines are stuck with.
+        for i in range(left.n):
+            outer = OuterRow(left, i, parent=ctx.outer)
+            inner_ctx = ctx.child(outer=outer)
+            mask = truthy_rows(_eval(join.condition, right, inner_ctx))
+            matches = np.flatnonzero(mask)
+            if len(matches) == 0:
+                if join.kind == "left":
+                    left_rows.append(np.array([i], dtype=np.int64))
+                    right_rows.append(np.array([-1], dtype=np.int64))
+                continue
+            left_rows.append(np.full(len(matches), i, dtype=np.int64))
+            right_rows.append(matches)
+    if left_rows:
+        left_index = np.concatenate(left_rows)
+        right_index = np.concatenate(right_rows)
+    else:
+        left_index = np.empty(0, dtype=np.int64)
+        right_index = np.empty(0, dtype=np.int64)
+    left_part = left.take(left_index)
+    unmatched = right_index < 0
+    right_part = right.take(np.where(unmatched, 0, right_index))
+    if unmatched.any():
+        for vector in right_part.vectors:
+            vector.validity = vector.validity & ~unmatched
+    return left_part.concat_columns(right_part)
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    found = [False]
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.WindowFunc):
+            return  # window functions are not plain aggregates
+        if isinstance(node, ast.FuncCall) and is_aggregate_name(node.name):
+            found[0] = True
+        for child in _children(node):
+            visit(child)
+
+    visit(expr)
+    return found[0]
+
+
+def _contains_window(expr: ast.Expr) -> bool:
+    found = [False]
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.WindowFunc):
+            found[0] = True
+        for child in _children(node):
+            visit(child)
+
+    visit(expr)
+    return found[0]
+
+
+def _children(node: ast.Expr) -> List[ast.Expr]:
+    if isinstance(node, ast.BinaryOp):
+        return [node.left, node.right]
+    if isinstance(node, ast.UnaryOp):
+        return [node.operand]
+    if isinstance(node, ast.BetweenExpr):
+        return [node.expr, node.low, node.high]
+    if isinstance(node, ast.InExpr):
+        return [node.expr, *node.items]
+    if isinstance(node, ast.IsNullExpr):
+        return [node.expr]
+    if isinstance(node, ast.LikeExpr):
+        return [node.expr, node.pattern]
+    if isinstance(node, ast.CaseExpr):
+        out: List[ast.Expr] = []
+        for cond, result in node.whens:
+            out.extend([cond, result])
+        if node.else_ is not None:
+            out.append(node.else_)
+        return out
+    if isinstance(node, ast.CastExpr):
+        return [node.expr]
+    if isinstance(node, ast.FuncCall):
+        out = list(node.args)
+        out.extend(s.expr for s in node.order_by)
+        out.extend(s.expr for s in node.within_group)
+        if node.filter_where is not None:
+            out.append(node.filter_where)
+        return out
+    if isinstance(node, ast.WindowFunc):
+        return []  # handled separately
+    return []
+
+
+def _collect(expr: ast.Expr, predicate) -> List[ast.Expr]:
+    out: List[ast.Expr] = []
+
+    def visit(node: ast.Expr) -> None:
+        if predicate(node):
+            out.append(node)
+            return
+        for child in _children(node):
+            visit(child)
+
+    visit(expr)
+    return out
+
+
+def _replace(expr: ast.Expr,
+             mapping: Dict[ast.Expr, ast.Expr]) -> ast.Expr:
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _replace(expr.left, mapping),
+                            _replace(expr.right, mapping))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _replace(expr.operand, mapping))
+    if isinstance(expr, ast.BetweenExpr):
+        return ast.BetweenExpr(_replace(expr.expr, mapping),
+                               _replace(expr.low, mapping),
+                               _replace(expr.high, mapping), expr.negated)
+    if isinstance(expr, ast.InExpr):
+        return ast.InExpr(_replace(expr.expr, mapping),
+                          tuple(_replace(e, mapping) for e in expr.items),
+                          expr.negated)
+    if isinstance(expr, ast.IsNullExpr):
+        return ast.IsNullExpr(_replace(expr.expr, mapping), expr.negated)
+    if isinstance(expr, ast.LikeExpr):
+        return ast.LikeExpr(_replace(expr.expr, mapping),
+                            _replace(expr.pattern, mapping), expr.negated)
+    if isinstance(expr, ast.CaseExpr):
+        return ast.CaseExpr(
+            tuple((_replace(c, mapping), _replace(r, mapping))
+                  for c, r in expr.whens),
+            None if expr.else_ is None else _replace(expr.else_, mapping))
+    if isinstance(expr, ast.CastExpr):
+        return ast.CastExpr(_replace(expr.expr, mapping), expr.type_name)
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            tuple(_replace(a, mapping) for a in expr.args),
+            expr.distinct,
+            tuple(ast.SortItem(_replace(s.expr, mapping), s.descending,
+                               s.nulls_last) for s in expr.order_by),
+            tuple(ast.SortItem(_replace(s.expr, mapping), s.descending,
+                               s.nulls_last) for s in expr.within_group),
+            None if expr.filter_where is None
+            else _replace(expr.filter_where, mapping),
+            expr.ignore_nulls, expr.from_last, expr.star)
+    return expr
+
+
+def _execute_aggregation(stmt: ast.SelectStmt, relation: Relation,
+                         ctx: Context) -> Tuple[Relation,
+                                                Dict[ast.Expr, ast.Expr]]:
+    sources: List[ast.Expr] = [item.expr for item in stmt.items]
+    if stmt.having is not None:
+        sources.append(stmt.having)
+    sources.extend(s.expr for s in stmt.order_by)
+    aggregates: List[ast.FuncCall] = []
+    for expr in sources:
+        for node in _collect(expr, lambda e: isinstance(e, ast.FuncCall)
+                             and is_aggregate_name(e.name)):
+            if node not in aggregates:
+                aggregates.append(node)
+
+    # Group assignment.
+    group_vectors = [_eval(e, relation, ctx) for e in stmt.group_by]
+    groups: Dict[Tuple, List[int]] = {}
+    order: List[Tuple] = []
+    if stmt.group_by:
+        for row in range(relation.n):
+            key = tuple(v.python_value(row) for v in group_vectors)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+    else:
+        groups[()] = list(range(relation.n))
+        order.append(())
+
+    mapping: Dict[ast.Expr, ast.Expr] = {}
+    out = Relation([], [])
+    for i, (expr, vector) in enumerate(zip(stmt.group_by, group_vectors)):
+        name = f"__group_{i}"
+        rows = np.array([groups[key][0] for key in order], dtype=np.int64)
+        out.add(vector.take(rows), name)
+        mapping[expr] = ast.ColumnRef(name)
+
+    for i, agg in enumerate(aggregates):
+        name = f"__agg_{i}"
+        out.add(_compute_aggregate_vector(agg, relation, groups, order, ctx),
+                name)
+        mapping[agg] = ast.ColumnRef(name)
+    return out, mapping
+
+
+def _compute_aggregate_vector(agg: ast.FuncCall, relation: Relation,
+                              groups: Dict[Tuple, List[int]],
+                              order: List[Tuple], ctx: Context) -> Vector:
+    arg = None
+    if agg.args:
+        arg = _eval(agg.args[0], relation, ctx)
+    order_values = None
+    order_descending = False
+    if agg.within_group:
+        order_values = _eval(agg.within_group[0].expr, relation, ctx)
+        order_descending = agg.within_group[0].descending
+    elif agg.order_by:
+        order_values = _eval(agg.order_by[0].expr, relation, ctx)
+        order_descending = agg.order_by[0].descending
+    fraction = None
+    if agg.name.lower() in ("percentile_disc", "percentile_cont"):
+        if not agg.args or not isinstance(agg.args[0], ast.Literal):
+            raise SqlAnalysisError(
+                f"{agg.name} requires a constant fraction")
+        fraction = float(agg.args[0].value)
+        arg = None
+    filter_mask = None
+    if agg.filter_where is not None:
+        filter_mask = truthy_rows(_eval(agg.filter_where, relation, ctx))
+    results = []
+    for key in order:
+        rows = groups[key]
+        if filter_mask is not None:
+            rows = [r for r in rows if filter_mask[r]]
+        results.append(compute_aggregate(
+            agg.name, rows=rows, star=agg.star, distinct=agg.distinct,
+            arg=arg, order_values=order_values,
+            order_descending=order_descending, fraction=fraction))
+    column = Column(_infer_dtype_from_values(results), results)
+    return from_column(column)
+
+
+# ----------------------------------------------------------------------
+# window functions
+# ----------------------------------------------------------------------
+_WINDOW_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+_WINDOW_FUNCTIONS = frozenset({
+    "rank", "dense_rank", "percent_rank", "cume_dist", "row_number",
+    "ntile", "percentile_disc", "percentile_cont", "median", "mode",
+    "first_value", "last_value", "nth_value", "lead", "lag",
+}) | _WINDOW_AGGREGATES
+
+
+def _execute_windows(exprs: Sequence[ast.Expr],
+                     windows: Dict[str, ast.WindowDef], relation: Relation,
+                     ctx: Context) -> Tuple[Relation,
+                                            Dict[ast.Expr, ast.Expr]]:
+    nodes: List[ast.WindowFunc] = []
+    for expr in exprs:
+        for node in _collect(expr,
+                             lambda e: isinstance(e, ast.WindowFunc)):
+            if node not in nodes:
+                nodes.append(node)
+
+    builder = _WindowBuilder(relation, ctx)
+    plan: List[Tuple[WindowCall, WindowSpec]] = []
+    for node in nodes:
+        window = node.window
+        if isinstance(window, str):
+            try:
+                window = windows[window.lower()]
+            except KeyError:
+                raise SqlAnalysisError(
+                    f"unknown window name {node.window!r}") from None
+        call = builder.translate_call(node.func)
+        spec = builder.translate_spec(window)
+        plan.append((call, spec))
+
+    table, name_map = builder.build_table()
+    operator = WindowOperator(table)
+    outputs = []
+    for index, (call, spec) in enumerate(plan):
+        named = WindowCall(call.function, call.args, **{
+            "distinct": call.distinct, "order_by": call.order_by,
+            "filter_where": call.filter_where,
+            "ignore_nulls": call.ignore_nulls, "fraction": call.fraction,
+            "offset": call.offset, "default": call.default,
+            "nth": call.nth, "from_last": call.from_last,
+            "buckets": call.buckets, "udaf": call.udaf,
+            "output": f"__win_{index}", "algorithm": call.algorithm})
+        operator.add(named, spec)
+        outputs.append(f"__win_{index}")
+    result = operator.run()
+
+    mapping: Dict[ast.Expr, ast.Expr] = {}
+    extended = Relation(list(relation.vectors), list(relation.bindings))
+    for node, output in zip(nodes, outputs):
+        vector = from_column(result.column(output))
+        hidden = f"__wout_{len(extended.vectors)}"
+        extended.add(vector, hidden)
+        mapping[node] = ast.ColumnRef(hidden)
+    return extended, mapping
+
+
+class _WindowBuilder:
+    """Materialises window-function inputs as hidden columns and
+    translates AST windows to engine specs."""
+
+    def __init__(self, relation: Relation, ctx: Context) -> None:
+        self.relation = relation
+        self.ctx = ctx
+        self.columns: List[Tuple[str, Vector]] = []
+        self._cache: Dict[ast.Expr, str] = {}
+
+    def _column_for(self, expr: ast.Expr) -> str:
+        if expr in self._cache:
+            return self._cache[expr]
+        if isinstance(expr, ast.ColumnRef):
+            index = self.relation.resolve(expr.name, expr.table)
+            if index is not None:
+                # reuse the physical column directly
+                name = f"__in_{len(self.columns)}"
+                self.columns.append((name,
+                                     self.relation.vectors[index]))
+                self._cache[expr] = name
+                return name
+        vector = _eval(expr, self.relation, self.ctx)
+        name = f"__in_{len(self.columns)}"
+        self.columns.append((name, vector))
+        self._cache[expr] = name
+        return name
+
+    def _order_items(self,
+                     items: Sequence[ast.SortItem]) -> Tuple[OrderItem, ...]:
+        out = []
+        for item in items:
+            out.append(OrderItem(self._column_for(item.expr),
+                                 item.descending, item.nulls_last))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    def translate_call(self, func: ast.FuncCall) -> WindowCall:
+        name = func.name.lower()
+        if name not in _WINDOW_FUNCTIONS:
+            raise SqlAnalysisError(
+                f"{func.name!r} is not a supported window function")
+        kwargs: Dict[str, Any] = {}
+        args: List[str] = []
+        order_items = func.order_by or func.within_group
+
+        if name in _WINDOW_AGGREGATES:
+            if func.star or not func.args:
+                name = "count_star" if name == "count" else name
+                if name != "count_star":
+                    raise SqlAnalysisError(f"{func.name} needs an argument")
+            else:
+                args.append(self._column_for(func.args[0]))
+            kwargs["distinct"] = func.distinct
+        elif name in ("percentile_disc", "percentile_cont"):
+            if not func.args or not isinstance(func.args[0], ast.Literal):
+                raise SqlAnalysisError(
+                    f"{func.name} requires a constant fraction")
+            kwargs["fraction"] = float(func.args[0].value)
+            if not order_items:
+                raise SqlAnalysisError(
+                    f"{func.name} requires an ORDER BY clause")
+            args.append(self._column_for(order_items[0].expr))
+            kwargs["order_by"] = self._order_items(order_items)
+        elif name == "median":
+            if not func.args:
+                raise SqlAnalysisError("median requires an argument")
+            args.append(self._column_for(func.args[0]))
+            if order_items:
+                kwargs["order_by"] = self._order_items(order_items)
+        elif name == "mode":
+            # mode(x) or PostgreSQL-style mode() within group (order by x)
+            if func.args:
+                args.append(self._column_for(func.args[0]))
+            elif order_items:
+                args.append(self._column_for(order_items[0].expr))
+            else:
+                raise SqlAnalysisError(
+                    "mode requires an argument or WITHIN GROUP clause")
+        elif name == "ntile":
+            if not func.args or not isinstance(func.args[0], ast.Literal):
+                raise SqlAnalysisError("ntile requires a constant bucket count")
+            kwargs["buckets"] = int(func.args[0].value)
+            if order_items:
+                kwargs["order_by"] = self._order_items(order_items)
+        elif name in ("rank", "dense_rank", "percent_rank", "cume_dist",
+                      "row_number"):
+            if order_items:
+                kwargs["order_by"] = self._order_items(order_items)
+        elif name in ("first_value", "last_value", "nth_value"):
+            args.append(self._column_for(func.args[0]))
+            if name == "nth_value":
+                if len(func.args) < 2 or not isinstance(func.args[1],
+                                                        ast.Literal):
+                    raise SqlAnalysisError(
+                        "nth_value requires a constant position")
+                kwargs["nth"] = int(func.args[1].value)
+                kwargs["from_last"] = func.from_last
+            kwargs["ignore_nulls"] = func.ignore_nulls
+            if order_items:
+                kwargs["order_by"] = self._order_items(order_items)
+        elif name in ("lead", "lag"):
+            args.append(self._column_for(func.args[0]))
+            if len(func.args) >= 2:
+                if not isinstance(func.args[1], ast.Literal):
+                    raise SqlAnalysisError(
+                        f"{func.name} offset must be constant")
+                kwargs["offset"] = int(func.args[1].value)
+            if len(func.args) >= 3:
+                if not isinstance(func.args[2], ast.Literal):
+                    raise SqlAnalysisError(
+                        f"{func.name} default must be constant")
+                kwargs["default"] = func.args[2].value
+            kwargs["ignore_nulls"] = func.ignore_nulls
+            if order_items:
+                kwargs["order_by"] = self._order_items(order_items)
+        if func.filter_where is not None:
+            kwargs["filter_where"] = self._column_for(func.filter_where)
+        return WindowCall(name, args, **kwargs)
+
+    def translate_spec(self, window: ast.WindowDef) -> WindowSpec:
+        partition = tuple(self._column_for(e) for e in window.partition_by)
+        order = self._order_items(window.order_by)
+        frame = None
+        if window.frame is not None:
+            frame = self._translate_frame(window.frame)
+        return WindowSpec(partition_by=partition, order_by=order,
+                          frame=frame)
+
+    def _translate_frame(self, frame: ast.FrameAst) -> FrameSpec:
+        mode = {"rows": FrameMode.ROWS, "range": FrameMode.RANGE,
+                "groups": FrameMode.GROUPS}[frame.mode]
+        exclusion = {"no_others": FrameExclusion.NO_OTHERS,
+                     "current_row": FrameExclusion.CURRENT_ROW,
+                     "group": FrameExclusion.GROUP,
+                     "ties": FrameExclusion.TIES}[frame.exclusion]
+        return FrameSpec(mode, self._translate_bound(frame.start, False),
+                         self._translate_bound(frame.end, True), exclusion)
+
+    def _translate_bound(self, bound: ast.FrameBoundAst,
+                         is_end: bool) -> FrameBound:
+        if bound.kind == "unbounded_preceding":
+            return unbounded_preceding()
+        if bound.kind == "unbounded_following":
+            return unbounded_following()
+        if bound.kind == "current_row":
+            return current_row()
+        offset = self._bound_offset(bound.offset)
+        return preceding(offset) if bound.kind == "preceding" \
+            else following(offset)
+
+    def _bound_offset(self, expr: ast.Expr) -> Any:
+        if isinstance(expr, ast.Literal) and isinstance(
+                expr.value, (int, float)):
+            return expr.value
+        if isinstance(expr, ast.IntervalLiteral):
+            return expr.days
+        vector = _eval(expr, self.relation, self.ctx)
+        if not vector.validity.all():
+            raise SqlAnalysisError("frame offsets must not be NULL")
+        return np.asarray(vector.values)
+
+    def build_table(self) -> Tuple[Table, Dict[str, int]]:
+        fields = []
+        columns = []
+        name_map: Dict[str, int] = {}
+        for index, (name, vector) in enumerate(self.columns):
+            column = vector.to_column()
+            fields.append(Field(name, column.dtype))
+            columns.append(column)
+            name_map[name] = index
+        if not columns:
+            # A window over an empty spec still needs a table of the
+            # right cardinality.
+            n = self.relation.n
+            columns = [Column.from_numpy(DataType.INT64,
+                                         np.zeros(n, dtype=np.int64))]
+            fields = [Field("__pad", DataType.INT64)]
+        return Table.from_columns(Schema(fields), columns), name_map
+
+
+# ----------------------------------------------------------------------
+# ORDER BY / DISTINCT on the output
+# ----------------------------------------------------------------------
+def _order_output(stmt: ast.SelectStmt, output: Relation,
+                  source: Relation, ctx: Context) -> Relation:
+    combined = Relation(source.vectors + output.vectors,
+                        source.bindings + output.bindings)
+    sort_columns = []
+    for item in stmt.order_by:
+        expr = item.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < len(output.vectors):
+                raise SqlAnalysisError(
+                    f"ORDER BY position {expr.value} out of range")
+            vector = output.vectors[position]
+        elif (isinstance(expr, ast.ColumnRef) and expr.table is None
+              and output.resolve(expr.name, None) is not None):
+            # SQL resolves bare ORDER BY names against the SELECT list
+            # first, then against the input columns.
+            vector = output.vectors[output.resolve(expr.name, None)]
+        else:
+            vector = _eval(expr, combined, ctx)
+        nulls_last = item.nulls_last if item.nulls_last is not None \
+            else not item.descending
+        sort_columns.append(SortColumn(vector.values, item.descending,
+                                       nulls_last, vector.validity))
+    order = stable_argsort(sort_columns, output.n)
+    return output.take(order)
+
+
+def _distinct_rows(output: Relation) -> Relation:
+    seen = set()
+    keep = []
+    for row in range(output.n):
+        key = tuple(v.python_value(row) for v in output.vectors)
+        if key not in seen:
+            seen.add(key)
+            keep.append(row)
+    return output.take(np.asarray(keep, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# expression evaluation
+# ----------------------------------------------------------------------
+def _eval(expr: ast.Expr, relation: Relation, ctx: Context) -> Vector:
+    n = relation.n
+    if isinstance(expr, ast.Literal):
+        return from_scalar(expr.value, n)
+    if isinstance(expr, ast.IntervalLiteral):
+        return from_scalar(expr.days, n)
+    if isinstance(expr, ast.ColumnRef):
+        index = relation.resolve(expr.name, expr.table)
+        if index is not None:
+            return relation.vectors[index]
+        if ctx.outer is not None:
+            hit = ctx.outer.lookup(expr.name, expr.table)
+            if hit is not None:
+                vector, row = hit
+                return _broadcast(vector, row, n)
+        raise SqlAnalysisError(f"unknown column {expr.display()!r}")
+    if isinstance(expr, ast.BinaryOp):
+        return _eval_binary(expr, relation, ctx)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _eval(expr.operand, relation, ctx)
+        return logical_not(operand) if expr.op == "not" else negate(operand)
+    if isinstance(expr, ast.BetweenExpr):
+        value = _eval(expr.expr, relation, ctx)
+        low = _eval(expr.low, relation, ctx)
+        high = _eval(expr.high, relation, ctx)
+        result = logical_and(comparison(">=", value, low),
+                             comparison("<=", value, high))
+        return logical_not(result) if expr.negated else result
+    if isinstance(expr, ast.InExpr):
+        value = _eval(expr.expr, relation, ctx)
+        result = None
+        for item in expr.items:
+            candidate = comparison("=", value, _eval(item, relation, ctx))
+            result = candidate if result is None \
+                else logical_or(result, candidate)
+        if expr.negated:
+            result = logical_not(result)
+        return result
+    if isinstance(expr, ast.IsNullExpr):
+        inner = _eval(expr.expr, relation, ctx)
+        result = ~inner.validity if not expr.negated else inner.validity
+        return Vector(result.copy(), np.ones(n, dtype=np.bool_),
+                      DataType.BOOL)
+    if isinstance(expr, ast.LikeExpr):
+        return _eval_like(expr, relation, ctx)
+    if isinstance(expr, ast.CaseExpr):
+        return _eval_case(expr, relation, ctx)
+    if isinstance(expr, ast.CastExpr):
+        return cast(_eval(expr.expr, relation, ctx), expr.type_name)
+    if isinstance(expr, ast.FuncCall):
+        return _eval_scalar_function(expr, relation, ctx)
+    if isinstance(expr, ast.ScalarSubquery):
+        return _eval_scalar_subquery(expr, relation, ctx)
+    if isinstance(expr, ast.ExistsExpr):
+        return _eval_exists(expr, relation, ctx)
+    if isinstance(expr, ast.WindowFunc):
+        raise SqlAnalysisError(
+            "window functions are only allowed in the SELECT list "
+            "and ORDER BY")
+    if isinstance(expr, ast.Star):
+        raise SqlAnalysisError("'*' is only allowed in the SELECT list")
+    raise SqlAnalysisError(f"unsupported expression {type(expr).__name__}")
+
+
+def _broadcast(vector: Vector, row: int, n: int) -> Vector:
+    valid = bool(vector.validity[row])
+    if vector.is_numpy:
+        values = np.full(n, vector.values[row])
+        return Vector(values, np.full(n, valid, dtype=np.bool_),
+                      vector.dtype)
+    return Vector([vector.values[row]] * n,
+                  np.full(n, valid, dtype=np.bool_), vector.dtype)
+
+
+def _eval_binary(expr: ast.BinaryOp, relation: Relation,
+                 ctx: Context) -> Vector:
+    if expr.op == "and":
+        return logical_and(_eval(expr.left, relation, ctx),
+                           _eval(expr.right, relation, ctx))
+    if expr.op == "or":
+        return logical_or(_eval(expr.left, relation, ctx),
+                          _eval(expr.right, relation, ctx))
+    left = _eval(expr.left, relation, ctx)
+    right = _eval(expr.right, relation, ctx)
+    if expr.op in ("+", "-", "*", "/", "%"):
+        return arithmetic(expr.op, left, right)
+    if expr.op == "||":
+        return concat(left, right)
+    return comparison(expr.op, left, right)
+
+
+def _eval_like(expr: ast.LikeExpr, relation: Relation,
+               ctx: Context) -> Vector:
+    """SQL LIKE: '%' matches any run, '_' any single character."""
+    import re as _re
+    value = _eval(expr.expr, relation, ctx)
+    pattern = _eval(expr.pattern, relation, ctx)
+    if value.dtype is not DataType.STRING \
+            or pattern.dtype is not DataType.STRING:
+        raise SqlAnalysisError("LIKE expects string operands")
+    n = len(value)
+    result = np.zeros(n, dtype=np.bool_)
+    validity = value.validity & pattern.validity
+    compiled = {}
+    for i in range(n):
+        if not validity[i]:
+            continue
+        raw = pattern.values[i]
+        regex = compiled.get(raw)
+        if regex is None:
+            # translate: escape regex chars, then map SQL wildcards
+            parts = []
+            for ch in raw:
+                if ch == "%":
+                    parts.append(".*")
+                elif ch == "_":
+                    parts.append(".")
+                else:
+                    parts.append(_re.escape(ch))
+            regex = _re.compile("^" + "".join(parts) + "$", _re.DOTALL)
+            compiled[raw] = regex
+        result[i] = regex.match(value.values[i]) is not None
+    if expr.negated:
+        result = ~result & validity
+    return Vector(result, validity, DataType.BOOL)
+
+
+def _eval_case(expr: ast.CaseExpr, relation: Relation,
+               ctx: Context) -> Vector:
+    n = relation.n
+    decided = np.zeros(n, dtype=np.bool_)
+    branches: List[Tuple[np.ndarray, Vector]] = []
+    for cond, branch in expr.whens:
+        mask = truthy_rows(_eval(cond, relation, ctx)) & ~decided
+        branches.append((mask, _eval(branch, relation, ctx)))
+        decided |= mask
+    result = _eval(expr.else_, relation, ctx) if expr.else_ is not None \
+        else from_scalar(None, n)
+    for mask, vector in branches:
+        result = _merge_vectors(result, vector, mask)
+    return result
+
+
+def _merge_vectors(base: Vector, update: Vector,
+                   mask: np.ndarray) -> Vector:
+    """Rows where ``mask`` holds take ``update``, others keep ``base``."""
+    if base.is_numpy and update.is_numpy:
+        values = np.where(mask, np.asarray(update.values),
+                          np.asarray(base.values))
+    else:
+        values = [update.values[i] if mask[i] else base.values[i]
+                  for i in range(len(base))]
+    validity = np.where(mask, update.validity, base.validity)
+    dtype = base.dtype if base.dtype == update.dtype else (
+        DataType.FLOAT64 if base.dtype.is_numeric and update.dtype.is_numeric
+        else base.dtype)
+    return Vector(values, validity, dtype)
+
+
+def _eval_scalar_subquery(expr: ast.ScalarSubquery, relation: Relation,
+                          ctx: Context) -> Vector:
+    n = relation.n
+    usage = [False]
+    if n == 0:
+        return from_scalar(None, 0)
+    # Probe with row 0: if no outer column is touched, the subquery is
+    # uncorrelated and one execution serves every row.
+    probe_outer = OuterRow(relation, 0, parent=ctx.outer, usage=usage)
+    sub_ctx = ctx.child(outer=probe_outer)
+    sub_rel, _ = execute_select(expr.select, sub_ctx)
+    first = _scalar_from(sub_rel)
+    if not usage[0]:
+        return _broadcast_scalar(first, n)
+    values: List[Any] = [first]
+    for row in range(1, n):
+        outer = OuterRow(relation, row, parent=ctx.outer)
+        sub_rel, _ = execute_select(expr.select, ctx.child(outer=outer))
+        values.append(_scalar_from(sub_rel))
+    column = Column(_infer_dtype_from_values(values), values)
+    return from_column(column)
+
+
+def _scalar_from(relation: Relation) -> Any:
+    if relation.n == 0:
+        return None
+    if relation.n > 1:
+        raise SqlAnalysisError("scalar subquery returned more than one row")
+    if len(relation.vectors) != 1:
+        raise SqlAnalysisError(
+            "scalar subquery must return exactly one column")
+    return relation.vectors[0].python_value(0)
+
+
+def _broadcast_scalar(value: Any, n: int) -> Vector:
+    return from_scalar(value, n)
+
+
+def _eval_exists(expr: ast.ExistsExpr, relation: Relation,
+                 ctx: Context) -> Vector:
+    n = relation.n
+    result = np.zeros(n, dtype=np.bool_)
+    for row in range(n):
+        outer = OuterRow(relation, row, parent=ctx.outer)
+        sub_rel, _ = execute_select(expr.select, ctx.child(outer=outer))
+        result[row] = sub_rel.n > 0
+    if expr.negated:
+        result = ~result
+    return Vector(result, np.ones(n, dtype=np.bool_), DataType.BOOL)
+
+
+def _eval_scalar_function(expr: ast.FuncCall, relation: Relation,
+                          ctx: Context) -> Vector:
+    name = expr.name.lower()
+    if is_aggregate_name(name):
+        raise SqlAnalysisError(
+            f"aggregate {expr.name!r} is not allowed here")
+    args = [_eval(a, relation, ctx) for a in expr.args]
+    if name == "mod":
+        _expect_args(expr, args, 2)
+        return arithmetic("%", args[0], args[1])
+    if name == "abs":
+        _expect_args(expr, args, 1)
+        return Vector(np.abs(np.asarray(args[0].values)),
+                      args[0].validity.copy(), args[0].dtype)
+    if name in ("floor", "ceil", "ceiling"):
+        _expect_args(expr, args, 1)
+        fn = np.floor if name == "floor" else np.ceil
+        return Vector(fn(np.asarray(args[0].values, dtype=np.float64))
+                      .astype(np.int64), args[0].validity.copy(),
+                      DataType.INT64)
+    if name == "round":
+        values = np.asarray(args[0].values, dtype=np.float64)
+        digits = 0
+        if len(args) > 1:
+            digits = int(np.asarray(args[1].values)[0])
+        return Vector(np.round(values, digits), args[0].validity.copy(),
+                      DataType.FLOAT64)
+    if name == "coalesce":
+        result = args[0]
+        for candidate in args[1:]:
+            result = _merge_vectors(candidate, result, result.validity)
+        return result
+    if name in ("least", "greatest"):
+        op = np.fmin if name == "least" else np.fmax
+        values = np.asarray(args[0].values, dtype=np.float64)
+        validity = args[0].validity.copy()
+        for candidate in args[1:]:
+            values = op(values, np.asarray(candidate.values,
+                                           dtype=np.float64))
+            validity &= candidate.validity
+        return Vector(values, validity, DataType.FLOAT64)
+    if name == "length":
+        _expect_args(expr, args, 1)
+        values = np.array([len(v) for v in args[0].values], dtype=np.int64)
+        return Vector(values, args[0].validity.copy(), DataType.INT64)
+    if name in ("lower", "upper"):
+        _expect_args(expr, args, 1)
+        transform = str.lower if name == "lower" else str.upper
+        return Vector([transform(v) for v in args[0].values],
+                      args[0].validity.copy(), DataType.STRING)
+    if name == "year":
+        _expect_args(expr, args, 1)
+        days = np.asarray(args[0].values, dtype="timedelta64[D]")
+        dates = np.datetime64("1970-01-01") + days
+        years = dates.astype("datetime64[Y]").astype(np.int64) + 1970
+        return Vector(years, args[0].validity.copy(), DataType.INT64)
+    raise SqlAnalysisError(f"unknown function {expr.name!r}")
+
+
+def _expect_args(expr: ast.FuncCall, args: List[Vector], count: int) -> None:
+    if len(args) != count:
+        raise SqlAnalysisError(
+            f"{expr.name} expects {count} argument(s), got {len(args)}")
+
+
+def _derive_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return expr.name.lower()
+    if isinstance(expr, ast.WindowFunc):
+        return expr.func.name.lower()
+    return "col"
+
+
+def _infer_dtype_from_values(values: Sequence[Any]) -> DataType:
+    has_float = has_int = has_str = has_date = has_bool = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            has_bool = True
+        elif isinstance(value, (int, np.integer)):
+            has_int = True
+        elif isinstance(value, (float, np.floating)):
+            has_float = True
+        elif isinstance(value, str):
+            has_str = True
+        elif isinstance(value, datetime.date):
+            has_date = True
+    if has_str:
+        return DataType.STRING
+    if has_date:
+        return DataType.DATE
+    if has_float:
+        return DataType.FLOAT64
+    if has_int:
+        return DataType.INT64
+    if has_bool:
+        return DataType.BOOL
+    return DataType.FLOAT64

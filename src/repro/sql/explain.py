@@ -1,0 +1,168 @@
+"""EXPLAIN: a human-readable plan rendering for the SQL executor.
+
+The executor interprets the AST directly, so the "plan" is derived from
+the statement structure — which is still exactly what executes: scans,
+nested-loop joins, filters, aggregations, window evaluations, sorts.
+Useful for confirming that the Figure 9 formulations really run as the
+O(n^2) nested-loop / correlated-subquery shapes the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.sql import ast
+from repro.sql.aggregates import is_aggregate_name
+from repro.sql.parser import parse
+
+
+def explain(sql_or_ast: Union[str, ast.SelectStmt]) -> str:
+    """Render the execution plan of a SELECT statement as a tree."""
+    stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
+    lines: List[str] = []
+    _render_select(stmt, lines, 0)
+    return "\n".join(lines)
+
+
+def _emit(lines: List[str], depth: int, text: str) -> None:
+    lines.append("  " * depth + text)
+
+
+def _render_select(stmt: ast.SelectStmt, lines: List[str],
+                   depth: int) -> None:
+    for name, cte in stmt.ctes:
+        _emit(lines, depth, f"CTE {name}:")
+        _render_select(cte, lines, depth + 1)
+    if stmt.limit is not None:
+        _emit(lines, depth, f"Limit ({stmt.limit})")
+        depth += 1
+    if stmt.order_by:
+        keys = ", ".join(_expr(s.expr) + (" DESC" if s.descending else "")
+                         for s in stmt.order_by)
+        _emit(lines, depth, f"Sort ({keys})")
+        depth += 1
+    if stmt.distinct:
+        _emit(lines, depth, "Distinct")
+        depth += 1
+    projections = ", ".join(
+        _expr(item.expr) + (f" AS {item.alias}" if item.alias else "")
+        for item in stmt.items)
+    _emit(lines, depth, f"Project ({projections})")
+    depth += 1
+
+    window_nodes: List[ast.WindowFunc] = []
+    for item in stmt.items:
+        _collect_windows(item.expr, window_nodes)
+    has_aggregate = bool(stmt.group_by) or any(
+        _has_aggregate(item.expr) for item in stmt.items)
+    if has_aggregate:
+        keys = ", ".join(_expr(e) for e in stmt.group_by) or "()"
+        _emit(lines, depth, f"Aggregate (group by {keys})")
+        depth += 1
+        if stmt.having is not None:
+            _emit(lines, depth, f"Having ({_expr(stmt.having)})")
+            depth += 1
+    elif window_nodes:
+        calls = ", ".join(f"{w.func.name}(...) OVER "
+                          f"{w.window if isinstance(w.window, str) else '(...)'}"
+                          for w in window_nodes)
+        _emit(lines, depth, f"Window ({calls})")
+        depth += 1
+    if stmt.where is not None:
+        _emit(lines, depth, f"Filter ({_expr(stmt.where)})")
+        depth += 1
+    _render_from(stmt.from_, lines, depth)
+
+
+def _render_from(from_: ast.TableExpr, lines: List[str],
+                 depth: int) -> None:
+    if from_ is None:
+        _emit(lines, depth, "Values (1 row)")
+        return
+    if isinstance(from_, ast.NamedTable):
+        alias = f" AS {from_.alias}" if from_.alias else ""
+        _emit(lines, depth, f"Scan {from_.name}{alias}")
+        return
+    if isinstance(from_, ast.DerivedTable):
+        _emit(lines, depth, f"Subquery AS {from_.alias}:")
+        _render_select(from_.select, lines, depth + 1)
+        return
+    if isinstance(from_, ast.Join):
+        if from_.kind == "cross" and from_.condition is None:
+            _emit(lines, depth, "NestedLoopJoin (cross)")
+        else:
+            condition = _expr(from_.condition) if from_.condition else ""
+            _emit(lines, depth,
+                  f"NestedLoopJoin ({from_.kind}, on {condition})")
+        _render_from(from_.left, lines, depth + 1)
+        _render_from(from_.right, lines, depth + 1)
+        return
+    _emit(lines, depth, f"<{type(from_).__name__}>")
+
+
+def _collect_windows(expr: ast.Expr, out: List[ast.WindowFunc]) -> None:
+    if isinstance(expr, ast.WindowFunc):
+        out.append(expr)
+        return
+    from repro.sql.executor import _children
+    for child in _children(expr):
+        _collect_windows(child, out)
+
+
+def _has_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.WindowFunc):
+        return False
+    if isinstance(expr, ast.FuncCall) and is_aggregate_name(expr.name):
+        return True
+    from repro.sql.executor import _children
+    return any(_has_aggregate(child) for child in _children(expr))
+
+
+def _expr(node: ast.Expr) -> str:
+    if isinstance(node, ast.Literal):
+        if isinstance(node.value, str):
+            return f"'{node.value}'"
+        return str(node.value)
+    if isinstance(node, ast.IntervalLiteral):
+        return f"INTERVAL '{node.text}'"
+    if isinstance(node, ast.ColumnRef):
+        return node.display()
+    if isinstance(node, ast.Star):
+        return f"{node.table}.*" if node.table else "*"
+    if isinstance(node, ast.BinaryOp):
+        return f"({_expr(node.left)} {node.op} {_expr(node.right)})"
+    if isinstance(node, ast.UnaryOp):
+        return f"({node.op} {_expr(node.operand)})"
+    if isinstance(node, ast.BetweenExpr):
+        negate = "not " if node.negated else ""
+        return (f"({_expr(node.expr)} {negate}between {_expr(node.low)} "
+                f"and {_expr(node.high)})")
+    if isinstance(node, ast.InExpr):
+        items = ", ".join(_expr(i) for i in node.items)
+        negate = "not " if node.negated else ""
+        return f"({_expr(node.expr)} {negate}in ({items}))"
+    if isinstance(node, ast.IsNullExpr):
+        negate = "not " if node.negated else ""
+        return f"({_expr(node.expr)} is {negate}null)"
+    if isinstance(node, ast.LikeExpr):
+        negate = "not " if node.negated else ""
+        return f"({_expr(node.expr)} {negate}like {_expr(node.pattern)})"
+    if isinstance(node, ast.CaseExpr):
+        return "CASE ..."
+    if isinstance(node, ast.CastExpr):
+        return f"CAST({_expr(node.expr)} AS {node.type_name})"
+    if isinstance(node, ast.FuncCall):
+        args = ", ".join(_expr(a) for a in node.args)
+        if node.star:
+            args = "*"
+        if node.distinct:
+            args = f"DISTINCT {args}"
+        return f"{node.name}({args})"
+    if isinstance(node, ast.WindowFunc):
+        over = node.window if isinstance(node.window, str) else "(...)"
+        return f"{_expr(node.func)} OVER {over}"
+    if isinstance(node, ast.ScalarSubquery):
+        return "(correlated subquery)"
+    if isinstance(node, ast.ExistsExpr):
+        return "EXISTS (...)"
+    return f"<{type(node).__name__}>"

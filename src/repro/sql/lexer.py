@@ -1,0 +1,158 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset("""
+    select from where group by having order limit offset as distinct all
+    and or not in is null true false between like case when then else end
+    join inner left right full cross on using with recursive union
+    window over partition rows range groups unbounded preceding following
+    current row exclude no others ties filter within asc desc nulls first
+    last ignore respect interval date cast exists
+""".split())
+
+SYMBOLS = [
+    "<>", "!=", ">=", "<=", "||", "::",
+    "(", ")", ",", "+", "-", "*", "/", "%", "=", "<", ">", ".", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # keyword | ident | number | string | symbol | end
+    value: Any      # normalised value (lowercased keyword/ident, parsed num)
+    text: str       # original text
+    position: int   # character offset in the input
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i)
+            if end < 0:
+                raise SqlSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), sql[i:j + 1], i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SqlSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token("ident", sql[i + 1:j].lower(),
+                                sql[i:j + 1], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (sql[j + 1].isdigit()
+                                      or sql[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2
+                    else:
+                        break
+                else:
+                    break
+            text = sql[i:j]
+            value = float(text) if (seen_dot or seen_exp) else int(text)
+            tokens.append(Token("number", value, text, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j].lower()
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, sql[i:j], i))
+            i = j
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("end", None, "", n))
+    return tokens
+
+
+_INTERVAL_UNITS = {
+    "day": 1, "days": 1,
+    "week": 7, "weeks": 7,
+    "month": 30, "months": 30,
+    "year": 365, "years": 365,
+}
+
+
+def parse_interval(text: str, position: int = -1) -> int:
+    """Parse an interval literal body (``'1 month'``) to days.
+
+    Months and years use fixed 30/365-day approximations — adequate for
+    the paper's sliding-window queries and documented in DESIGN.md.
+    """
+    parts = text.strip().lower().split()
+    if len(parts) != 2:
+        raise SqlSyntaxError(f"cannot parse interval {text!r}", position)
+    try:
+        amount = int(parts[0])
+    except ValueError:
+        raise SqlSyntaxError(f"cannot parse interval {text!r}",
+                             position) from None
+    unit = _INTERVAL_UNITS.get(parts[1])
+    if unit is None:
+        raise SqlSyntaxError(f"unknown interval unit {parts[1]!r}", position)
+    return amount * unit
+
+
+def parse_date(text: str, position: int = -1) -> datetime.date:
+    try:
+        return datetime.date.fromisoformat(text.strip())
+    except ValueError:
+        raise SqlSyntaxError(f"cannot parse date {text!r}",
+                             position) from None

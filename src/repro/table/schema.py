@@ -1,0 +1,67 @@
+"""Table schemas: ordered, named, typed field lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import SchemaError
+from repro.table.column import DataType
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named, typed column slot in a schema."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+
+class Schema:
+    """An ordered collection of :class:`Field` with unique names."""
+
+    def __init__(self, fields: Iterable[Field]) -> None:
+        self.fields: List[Field] = list(fields)
+        self._index: Dict[str, int] = {}
+        for position, field in enumerate(self.fields):
+            key = field.name.lower()
+            if key in self._index:
+                raise SchemaError(f"duplicate column name {field.name!r}")
+            self._index[key] = position
+
+    @classmethod
+    def of(cls, *specs: Tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(Field(name, dtype) for name, dtype in specs)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        """The position of the column called ``name`` (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def field(self, name: str) -> Field:
+        return self.fields[self.index_of(name)]
+
+    def names(self) -> List[str]:
+        return [field.name for field in self.fields]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.fields == other.fields
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.name} {f.dtype.value}" for f in self.fields)
+        return f"Schema({cols})"

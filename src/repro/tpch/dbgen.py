@@ -1,0 +1,103 @@
+"""Loading real TPC-H dbgen ``.tbl`` files.
+
+The synthetic generator (:mod:`repro.tpch.generator`) covers the
+benchmarks; for users who do have dbgen output, this module loads the
+pipe-separated ``lineitem.tbl`` / ``orders.tbl`` files into the same
+table shapes, so every example and benchmark can run against genuine
+TPC-H data (the paper's actual input)."""
+
+from __future__ import annotations
+
+import datetime
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import SchemaError
+from repro.table.column import DataType
+from repro.table.schema import Field, Schema
+from repro.table.table import Table
+
+# Full dbgen column lists (SF-independent).
+LINEITEM_COLUMNS = [
+    ("l_orderkey", DataType.INT64),
+    ("l_partkey", DataType.INT64),
+    ("l_suppkey", DataType.INT64),
+    ("l_linenumber", DataType.INT64),
+    ("l_quantity", DataType.FLOAT64),
+    ("l_extendedprice", DataType.FLOAT64),
+    ("l_discount", DataType.FLOAT64),
+    ("l_tax", DataType.FLOAT64),
+    ("l_returnflag", DataType.STRING),
+    ("l_linestatus", DataType.STRING),
+    ("l_shipdate", DataType.DATE),
+    ("l_commitdate", DataType.DATE),
+    ("l_receiptdate", DataType.DATE),
+    ("l_shipinstruct", DataType.STRING),
+    ("l_shipmode", DataType.STRING),
+    ("l_comment", DataType.STRING),
+]
+
+ORDERS_COLUMNS = [
+    ("o_orderkey", DataType.INT64),
+    ("o_custkey", DataType.INT64),
+    ("o_orderstatus", DataType.STRING),
+    ("o_totalprice", DataType.FLOAT64),
+    ("o_orderdate", DataType.DATE),
+    ("o_orderpriority", DataType.STRING),
+    ("o_clerk", DataType.STRING),
+    ("o_shippriority", DataType.INT64),
+    ("o_comment", DataType.STRING),
+]
+
+
+def _parse_field(text: str, dtype: DataType):
+    if text == "":
+        return None
+    if dtype is DataType.INT64:
+        return int(text)
+    if dtype is DataType.FLOAT64:
+        return float(text)
+    if dtype is DataType.DATE:
+        return datetime.date.fromisoformat(text)
+    return text
+
+
+def load_tbl(path: Union[str, Path], columns, *,
+             limit: Optional[int] = None, name: str = "") -> Table:
+    """Load a dbgen ``.tbl`` file (pipe-separated, trailing ``|``).
+
+    ``columns`` is a ``(name, DataType)`` list like
+    :data:`LINEITEM_COLUMNS`; ``limit`` truncates after that many rows
+    (dbgen files at SF 1 have 6M lineitem rows).
+    """
+    schema = Schema(Field(n, d) for n, d in columns)
+    rows: List[list] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle):
+            if limit is not None and len(rows) >= limit:
+                break
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("|")
+            if parts and parts[-1] == "":
+                parts.pop()  # dbgen lines end with a trailing separator
+            if len(parts) != len(columns):
+                raise SchemaError(
+                    f"{path}:{line_number + 1}: expected "
+                    f"{len(columns)} fields, found {len(parts)}")
+            rows.append([_parse_field(text, dtype)
+                         for text, (_, dtype) in zip(parts, columns)])
+    return Table.from_rows(schema, rows, name=name or Path(path).stem)
+
+
+def load_lineitem(path: Union[str, Path], *,
+                  limit: Optional[int] = None) -> Table:
+    """Load ``lineitem.tbl`` with the full 16-column dbgen schema."""
+    return load_tbl(path, LINEITEM_COLUMNS, limit=limit, name="lineitem")
+
+
+def load_orders(path: Union[str, Path], *,
+                limit: Optional[int] = None) -> Table:
+    """Load ``orders.tbl`` with the full 9-column dbgen schema."""
+    return load_tbl(path, ORDERS_COLUMNS, limit=limit, name="orders")

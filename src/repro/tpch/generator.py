@@ -1,0 +1,151 @@
+"""Synthetic TPC-H tables (and the paper's TPC-C results example)."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict
+
+import numpy as np
+
+from repro.table.column import Column, DataType, date_to_ordinal
+from repro.table.schema import Field, Schema
+from repro.table.table import Table
+
+TPCH_START_DATE = datetime.date(1992, 1, 1)
+TPCH_END_DATE = datetime.date(1998, 12, 31)
+
+_ROWS_PER_SF = 6_000_000  # lineitem rows per scale factor
+_PARTS_PER_SF = 200_000
+_CUSTOMERS_PER_SF = 150_000
+
+
+def _retail_price(partkey: np.ndarray) -> np.ndarray:
+    """The TPC-H p_retailprice formula, in dollars."""
+    return (90000 + (partkey // 10) % 20001 + 100 * (partkey % 1000)) / 100.0
+
+
+def lineitem_arrays(num_rows: int, *, scale_factor: float = None,
+                    seed: int = 2022) -> Dict[str, np.ndarray]:
+    """The numeric core of ``lineitem`` as raw numpy arrays.
+
+    Dates are days-since-epoch int64 (the engine's physical date
+    representation). Rows are sorted by ``l_shipdate`` the way the
+    window-operator benchmarks consume them unsorted — sorting is part of
+    the measured operator, so the arrays come back in random order.
+    """
+    if scale_factor is None:
+        scale_factor = max(num_rows / _ROWS_PER_SF, 1e-4)
+    rng = np.random.default_rng(seed)
+    partkey = rng.integers(1, int(_PARTS_PER_SF * scale_factor) + 2,
+                           size=num_rows, dtype=np.int64)
+    suppkey = rng.integers(1, max(int(10_000 * scale_factor), 10) + 1,
+                           size=num_rows, dtype=np.int64)
+    orderkey = rng.integers(1, max(int(1_500_000 * scale_factor), 100) + 1,
+                            size=num_rows, dtype=np.int64)
+    quantity = rng.integers(1, 51, size=num_rows, dtype=np.int64)
+    extendedprice = np.round(quantity * _retail_price(partkey), 2)
+    start = date_to_ordinal(TPCH_START_DATE)
+    end = date_to_ordinal(TPCH_END_DATE)
+    orderdate = rng.integers(start, end - 151, size=num_rows, dtype=np.int64)
+    shipdate = orderdate + rng.integers(1, 122, size=num_rows, dtype=np.int64)
+    commitdate = orderdate + rng.integers(30, 91, size=num_rows,
+                                          dtype=np.int64)
+    receiptdate = shipdate + rng.integers(1, 31, size=num_rows,
+                                          dtype=np.int64)
+    return {
+        "l_orderkey": orderkey,
+        "l_partkey": partkey,
+        "l_suppkey": suppkey,
+        "l_quantity": quantity,
+        "l_extendedprice": extendedprice,
+        "l_shipdate": shipdate,
+        "l_commitdate": commitdate,
+        "l_receiptdate": receiptdate,
+    }
+
+
+def lineitem(num_rows: int, *, scale_factor: float = None,
+             seed: int = 2022) -> Table:
+    """A ``lineitem`` :class:`Table` with the columns the paper queries."""
+    arrays = lineitem_arrays(num_rows, scale_factor=scale_factor, seed=seed)
+    schema = Schema([
+        Field("l_orderkey", DataType.INT64),
+        Field("l_partkey", DataType.INT64),
+        Field("l_suppkey", DataType.INT64),
+        Field("l_quantity", DataType.INT64),
+        Field("l_extendedprice", DataType.FLOAT64),
+        Field("l_shipdate", DataType.DATE),
+        Field("l_commitdate", DataType.DATE),
+        Field("l_receiptdate", DataType.DATE),
+    ])
+    columns = []
+    for field in schema:
+        data = arrays[field.name]
+        if field.dtype is DataType.FLOAT64:
+            columns.append(Column.from_numpy(field.dtype,
+                                             data.astype(np.float64)))
+        else:
+            columns.append(Column.from_numpy(field.dtype, data))
+    return Table.from_columns(schema, columns, name="lineitem")
+
+
+def orders(num_rows: int, *, scale_factor: float = None,
+           seed: int = 2023) -> Table:
+    """An ``orders`` table (the monthly-active-users example input)."""
+    if scale_factor is None:
+        scale_factor = max(num_rows / 1_500_000, 1e-4)
+    rng = np.random.default_rng(seed)
+    orderkey = np.arange(1, num_rows + 1, dtype=np.int64)
+    custkey = rng.integers(1, int(_CUSTOMERS_PER_SF * scale_factor) + 2,
+                           size=num_rows, dtype=np.int64)
+    start = date_to_ordinal(TPCH_START_DATE)
+    end = date_to_ordinal(TPCH_END_DATE)
+    orderdate = rng.integers(start, end, size=num_rows, dtype=np.int64)
+    totalprice = np.round(rng.uniform(850.0, 560000.0, size=num_rows), 2)
+    schema = Schema([
+        Field("o_orderkey", DataType.INT64),
+        Field("o_custkey", DataType.INT64),
+        Field("o_orderdate", DataType.DATE),
+        Field("o_totalprice", DataType.FLOAT64),
+    ])
+    columns = [
+        Column.from_numpy(DataType.INT64, orderkey),
+        Column.from_numpy(DataType.INT64, custkey),
+        Column.from_numpy(DataType.DATE, orderdate),
+        Column.from_numpy(DataType.FLOAT64, totalprice),
+    ]
+    return Table.from_columns(schema, columns, name="orders")
+
+
+_DB_SYSTEMS = [
+    "OracleX", "Sybase", "Informix", "DB2", "SQLServer", "Teradata",
+    "NonStopSQL", "Ingres", "Hyper", "Umbra", "Postgres", "MariaDB",
+]
+
+
+def tpcc_results(num_rows: int = 240, *, seed: int = 99) -> Table:
+    """The ``tpcc_results`` example table from Section 2.4: historic
+    TPC-C submissions (system, throughput, date) with throughput growing
+    over the years the way real TPC results do."""
+    rng = np.random.default_rng(seed)
+    start = date_to_ordinal(datetime.date(1993, 1, 1))
+    end = date_to_ordinal(datetime.date(2010, 12, 31))
+    submission = np.sort(rng.integers(start, end, size=num_rows,
+                                      dtype=np.int64))
+    years = (submission - start) / 365.25
+    # Throughput grows roughly exponentially with noise.
+    tps = np.round(100 * np.exp(0.45 * years) * rng.lognormal(
+        0.0, 0.6, size=num_rows), 1)
+    systems = [_DB_SYSTEMS[i] for i in rng.integers(0, len(_DB_SYSTEMS),
+                                                    size=num_rows)]
+    schema = Schema([
+        Field("dbsystem", DataType.STRING),
+        Field("tps", DataType.FLOAT64),
+        Field("submission_date", DataType.DATE),
+    ])
+    columns = [
+        Column(DataType.STRING, systems),
+        Column.from_numpy(DataType.FLOAT64, tps),
+        Column.from_numpy(DataType.DATE, submission),
+    ]
+    return Table.from_columns(schema, columns, name="tpcc_results")

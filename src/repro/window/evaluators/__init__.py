@@ -1,0 +1,41 @@
+"""Window function evaluators, one module per function family."""
+
+from typing import Any, List
+
+from repro.errors import WindowFunctionError
+from repro.window.calls import WindowCall
+from repro.window.partition import PartitionView
+
+
+def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
+    """Evaluate one window function over one partition.
+
+    Dispatches on the call's family; every evaluator returns a list of
+    ``part.n`` Python values (None = SQL NULL) in partition order.
+    """
+    from repro.window.evaluators import (
+        aggregates,
+        distinct,
+        mode,
+        navigation,
+        percentile,
+        rank,
+        value,
+    )
+
+    family = call.family
+    if family == "aggregate":
+        return aggregates.evaluate(call, part)
+    if family == "distinct":
+        return distinct.evaluate(call, part)
+    if family == "rank":
+        return rank.evaluate(call, part)
+    if family == "percentile":
+        return percentile.evaluate(call, part)
+    if family == "mode":
+        return mode.evaluate(call, part)
+    if family == "value":
+        return value.evaluate(call, part)
+    if family == "navigation":
+        return navigation.evaluate(call, part)
+    raise WindowFunctionError(f"unknown function family {family!r}")

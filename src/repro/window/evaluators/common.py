@@ -1,0 +1,152 @@
+"""Shared evaluator plumbing: keep masks, remapping, function order."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WindowFunctionError
+from repro.preprocess.permutation import permutation_array
+from repro.preprocess.remap import IndexRemap
+from repro.sortutil import SortColumn
+from repro.window.calls import WindowCall
+from repro.window.partition import PartitionView
+
+RangePair = Tuple[np.ndarray, np.ndarray]
+
+
+def keep_mask(call: WindowCall, part: PartitionView,
+              skip_null_arg: bool) -> np.ndarray:
+    """Rows that participate in the function's input: FILTER clause,
+    plus NULL skipping where the function family demands it."""
+    keep = np.ones(part.n, dtype=np.bool_)
+    if call.filter_where is not None:
+        values, validity = part.column(call.filter_where)
+        mask = np.asarray(values, dtype=np.bool_) & validity
+        keep &= mask
+    if skip_null_arg and call.args:
+        _, validity = part.column(call.args[0])
+        keep &= validity
+    return keep
+
+
+class CallInput:
+    """Per-call preprocessing: the kept-row universe and remapped frames.
+
+    Rows excluded by FILTER / IGNORE NULLS never enter the tree; frame
+    bounds move to the filtered coordinate space via an
+    :class:`IndexRemap` (Sections 4.5 / 4.7).
+    """
+
+    def __init__(self, call: WindowCall, part: PartitionView,
+                 skip_null_arg: bool) -> None:
+        self.call = call
+        self.part = part
+        self.keep = keep_mask(call, part, skip_null_arg)
+        self.remap = IndexRemap(self.keep)
+        self.kept_rows = np.flatnonzero(self.keep)
+        self.pieces_f: List[RangePair] = [
+            (self.remap.bounds_array_to_filtered(lo),
+             self.remap.bounds_array_to_filtered(hi))
+            for lo, hi in part.pieces]
+        self.start_f = self.remap.bounds_array_to_filtered(part.start)
+        self.end_f = self.remap.bounds_array_to_filtered(part.end)
+
+    @property
+    def n(self) -> int:
+        return self.part.n
+
+    @property
+    def n_kept(self) -> int:
+        return self.remap.n_filtered
+
+    @property
+    def single_piece(self) -> bool:
+        return len(self.pieces_f) == 1
+
+    def frame_counts(self) -> np.ndarray:
+        """Kept rows per frame (summed over pieces)."""
+        total = np.zeros(self.n, dtype=np.int64)
+        for lo, hi in self.pieces_f:
+            total += np.maximum(hi - lo, 0)
+        return total
+
+    def kept_values(self, column: str) -> Any:
+        """The column's values at kept rows (numpy array or list)."""
+        values, _ = self.part.column(column)
+        if isinstance(values, np.ndarray):
+            return values[self.kept_rows]
+        return [values[i] for i in self.kept_rows]
+
+    def kept_validity(self, column: str) -> np.ndarray:
+        _, validity = self.part.column(column)
+        return validity[self.kept_rows]
+
+    def row_pieces_f(self, row: int) -> List[Tuple[int, int]]:
+        """One row's non-empty frame ranges in filtered coordinates."""
+        out = []
+        for lo, hi in self.pieces_f:
+            a, b = int(lo[row]), int(hi[row])
+            if a < b:
+                out.append((a, b))
+        return out
+
+    # ------------------------------------------------------------------
+    # function-level ordering
+    # ------------------------------------------------------------------
+    def function_sort_columns(self,
+                              default_arg: bool = False) -> List[SortColumn]:
+        """The function-level ORDER BY as sort columns over the full
+        partition. Falls back to the window ORDER BY, then (optionally)
+        the first argument, then partition position."""
+        if self.call.order_by:
+            return self.part.sort_columns(self.call.order_by)
+        if default_arg and self.call.args:
+            values, validity = self.part.column(self.call.args[0])
+            return [SortColumn(values, validity=validity)]
+        if self.part.window_order:
+            return self.part.sort_columns(self.part.window_order)
+        return []
+
+    def kept_sort_columns(self, columns: Sequence[SortColumn]) -> List[SortColumn]:
+        """Restrict full-partition sort columns to kept rows."""
+        out = []
+        for col in columns:
+            if isinstance(col.values, np.ndarray):
+                values = col.values[self.kept_rows]
+            else:
+                values = [col.values[i] for i in self.kept_rows]
+            validity = None if col.validity is None \
+                else np.asarray(col.validity, dtype=np.bool_)[self.kept_rows]
+            out.append(SortColumn(values, col.descending, col.nulls_last,
+                                  validity))
+        return out
+
+    def kept_permutation(self, columns: Sequence[SortColumn]) -> np.ndarray:
+        """Section 4.5 permutation array over the kept rows: entry j is
+        the *filtered* frame position of the j-th kept row in function
+        order (empty order = frame order, i.e. the identity)."""
+        kept_cols = self.kept_sort_columns(columns)
+        return permutation_array(kept_cols, self.n_kept)
+
+
+def infer_scalar(value: Any) -> Any:
+    """Unbox numpy scalars for result lists."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def argument_values(call: WindowCall, part: PartitionView,
+                    index: int = 0) -> Tuple[Any, np.ndarray]:
+    if index >= len(call.args):
+        raise WindowFunctionError(
+            f"{call.function} is missing argument {index}")
+    return part.column(call.args[index])
+
+
+def value_at(values: Any, validity: np.ndarray, row: int) -> Any:
+    if not validity[row]:
+        return None
+    return infer_scalar(values[row])

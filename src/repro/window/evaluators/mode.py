@@ -1,0 +1,84 @@
+"""Framed MODE — the most frequent value in each window frame.
+
+Modes are the one common holistic aggregate that does not reduce to a
+2-d range count, so the merge sort tree does not apply (the paper's
+related work points to dedicated range-mode structures [13, 25]). The
+default algorithm here is the sqrt-decomposition
+:class:`~repro.rangemode.RangeModeIndex`; ``incremental`` follows the
+frame with a counter table; ``naive`` recomputes per frame.
+
+Tie rule (shared by all three): the value whose first occurrence in the
+partition's kept rows comes earliest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import WindowFunctionError
+from repro.rangemode import IncrementalMode, RangeModeIndex
+from repro.window.calls import WindowCall
+from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.partition import PartitionView
+
+
+def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
+    inputs = CallInput(call, part, skip_null_arg=True)
+    if call.algorithm == "naive":
+        return _evaluate_naive(call, part, inputs)
+    if call.algorithm == "incremental":
+        return _evaluate_incremental(call, part, inputs)
+    if call.algorithm != "mst":
+        raise WindowFunctionError(
+            f"algorithm {call.algorithm!r} does not support MODE")
+    if not inputs.single_piece:
+        # Frame holes invalidate the central-span candidate argument.
+        return _evaluate_naive(call, part, inputs)
+    values = _hashable(inputs.kept_values(call.args[0]))
+    index = RangeModeIndex(values)
+    lo, hi = inputs.pieces_f[0]
+    out: List[Any] = []
+    for i in range(part.n):
+        mode, _count = index.query(int(lo[i]), int(hi[i]))
+        out.append(infer_scalar(mode))
+    return out
+
+
+def _hashable(values: Any) -> List[Any]:
+    return [infer_scalar(v) for v in values]
+
+
+def _evaluate_incremental(call: WindowCall, part: PartitionView,
+                          inputs: CallInput) -> List[Any]:
+    if not inputs.single_piece:
+        return _evaluate_naive(call, part, inputs)
+    values = _hashable(inputs.kept_values(call.args[0]))
+    state = IncrementalMode(values)
+    lo, hi = inputs.pieces_f[0]
+    out: List[Any] = []
+    for i in range(part.n):
+        state.move_to(int(lo[i]), int(hi[i]))
+        out.append(infer_scalar(state.mode()[0]))
+    return out
+
+
+def _evaluate_naive(call: WindowCall, part: PartitionView,
+                    inputs: CallInput) -> List[Any]:
+    values = _hashable(inputs.kept_values(call.args[0]))
+    first_seen: Dict[Any, int] = {}
+    for position, value in enumerate(values):
+        if value not in first_seen:
+            first_seen[value] = position
+    out: List[Any] = []
+    for i in range(part.n):
+        counts: Dict[Any, int] = {}
+        for lo, hi in inputs.pieces_f:
+            for j in range(int(lo[i]), int(hi[i])):
+                counts[values[j]] = counts.get(values[j], 0) + 1
+        if not counts:
+            out.append(None)
+            continue
+        best = max(counts.items(),
+                   key=lambda kv: (kv[1], -first_seen[kv[0]]))
+        out.append(best[0])
+    return out

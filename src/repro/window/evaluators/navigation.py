@@ -1,0 +1,112 @@
+"""Framed LEAD and LAG with an independent ORDER BY (Section 4.6).
+
+Evaluation follows the paper's four steps:
+
+1. the current row's 0-based position among the frame's kept rows in
+   function order — a slab-prefix range count on the permutation tree;
+2. add (LEAD) or subtract (LAG) the offset;
+3. find the row at the adjusted position — a select query;
+4. evaluate the argument expression on that row (or the default).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import numpy as np
+
+from repro.baselines.naive import frame_rows
+from repro.errors import WindowFunctionError
+from repro.mst.tree import MergeSortTree
+from repro.mst.vectorized import batched_count, batched_select
+from repro.sortutil import stable_argsort
+from repro.window.calls import WindowCall
+from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.evaluators.value import _composite_keys
+from repro.window.partition import PartitionView
+
+_TREE_FANOUT = 2
+
+
+def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
+    inputs = CallInput(call, part, skip_null_arg=call.ignore_nulls)
+    if call.algorithm == "naive":
+        return _evaluate_naive(call, part, inputs)
+    if call.algorithm != "mst":
+        raise WindowFunctionError(
+            f"algorithm {call.algorithm!r} does not support LEAD/LAG")
+
+    sort_columns = inputs.function_sort_columns()
+    perm = inputs.kept_permutation(sort_columns)
+    tree = MergeSortTree(perm, fanout=_TREE_FANOUT)
+    values = inputs.kept_values(call.args[0])
+    validity = inputs.kept_validity(call.args[0])
+
+    # Step 1: the row's insertion position among kept rows in function
+    # order. stable_argsort is stable, so restriction to kept rows keeps
+    # relative order consistent with the kept permutation.
+    full_order = stable_argsort(sort_columns, part.n)
+    fn_position = np.empty(part.n, dtype=np.int64)
+    fn_position[full_order] = np.arange(part.n, dtype=np.int64)
+    kept_in_fn_order = inputs.keep[full_order]
+    kept_prefix = np.zeros(part.n + 1, dtype=np.int64)
+    np.cumsum(kept_in_fn_order, out=kept_prefix[1:])
+    own_slab = kept_prefix[fn_position]  # kept rows sorting strictly before
+
+    rank0 = np.zeros(part.n, dtype=np.int64)
+    for lo, hi in inputs.pieces_f:
+        rank0 += batched_count(tree.levels, np.zeros(part.n, dtype=np.int64),
+                               own_slab, key_hi=hi, key_lo=lo)
+
+    # Step 2: apply the offset.
+    signed = call.offset if call.function == "lead" else -call.offset
+    targets = rank0 + signed
+    counts = inputs.frame_counts()
+    in_range = (targets >= 0) & (targets < counts)
+
+    # Steps 3 + 4: select and read the argument (or the default).
+    out: List[Any] = [call.default] * part.n
+    if inputs.single_piece:
+        lo, hi = inputs.pieces_f[0]
+        idx = np.flatnonzero(in_range)
+        if len(idx):
+            _, pos = batched_select(tree.levels, targets[idx],
+                                    lo[idx], hi[idx])
+            for j, row in enumerate(idx):
+                p = int(pos[j])
+                out[row] = infer_scalar(values[p]) if validity[p] else None
+        return out
+    for row in range(part.n):
+        if not in_range[row]:
+            continue
+        ranges = inputs.row_pieces_f(row)
+        _, p = tree.select(int(targets[row]), ranges)
+        out[row] = infer_scalar(values[p]) if validity[p] else None
+    return out
+
+
+def _evaluate_naive(call: WindowCall, part: PartitionView,
+                    inputs: CallInput) -> List[Any]:
+    values, validity = part.column(call.args[0])
+    sort_columns = inputs.function_sort_columns()
+    if sort_columns:
+        order_keys = _composite_keys(sort_columns, part.n)
+    else:
+        order_keys = list(range(part.n))
+    keep = inputs.keep
+    signed = call.offset if call.function == "lead" else -call.offset
+    out: List[Any] = []
+    for i in range(part.n):
+        rows = [j for j in frame_rows(part.pieces, i) if keep[j]]
+        rows.sort(key=lambda j: (order_keys[j], j))
+        before = sum(1 for j in rows
+                     if order_keys[j] < order_keys[i]
+                     or (not order_keys[j] < order_keys[i]
+                         and not order_keys[i] < order_keys[j] and j < i))
+        target = before + signed
+        if 0 <= target < len(rows):
+            j = rows[target]
+            out.append(infer_scalar(values[j]) if validity[j] else None)
+        else:
+            out.append(call.default)
+    return out

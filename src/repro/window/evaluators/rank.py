@@ -1,0 +1,127 @@
+"""Framed rank functions via merge sort trees (Section 4.4).
+
+The rank of a row is the number of frame rows comparing strictly smaller
+under the function-level ORDER BY, plus one — a range count over the
+dense integer rank keys of Figure 8. ROW_NUMBER disambiguates ties by
+frame position; PERCENT_RANK and CUME_DIST are scaled variants; NTILE
+derives from ROW_NUMBER and the frame size; DENSE_RANK needs the
+Section 4.4 range tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import numpy as np
+
+from repro.baselines.naive import naive_dense_rank, naive_rank
+from repro.errors import WindowFunctionError
+from repro.mst.tree import MergeSortTree
+from repro.mst.vectorized import batched_count
+from repro.ostree.windowed import windowed_rank_ostree
+from repro.preprocess.rankkeys import dense_rank_keys, row_number_keys
+from repro.rangetree.dense import DenseRankIndex
+from repro.window.calls import WindowCall
+from repro.window.evaluators.common import CallInput
+from repro.window.partition import PartitionView
+
+_TREE_FANOUT = 2
+
+
+def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
+    inputs = CallInput(call, part, skip_null_arg=False)
+    name = call.function
+    unique_keys = name in ("row_number", "ntile")
+    sort_columns = inputs.function_sort_columns()
+    if unique_keys:
+        keys = row_number_keys(sort_columns, part.n)
+    else:
+        keys = dense_rank_keys(sort_columns, part.n)
+
+    if call.algorithm == "naive":
+        return _evaluate_naive(name, call, part, inputs, keys)
+    if call.algorithm == "ostree":
+        return _evaluate_ostree(name, call, part, inputs, keys)
+    if call.algorithm != "mst":
+        raise WindowFunctionError(
+            f"algorithm {call.algorithm!r} does not support rank functions")
+
+    if name == "dense_rank":
+        return _dense_rank(inputs, keys)
+
+    kept_keys = keys[inputs.kept_rows]
+    tree = MergeSortTree(kept_keys, fanout=_TREE_FANOUT)
+    own = keys  # full-partition key per row
+
+    def count_below(threshold: np.ndarray) -> np.ndarray:
+        total = np.zeros(part.n, dtype=np.int64)
+        for lo, hi in inputs.pieces_f:
+            total += batched_count(tree.levels, lo, hi, key_hi=threshold)
+        return total
+
+    if name == "rank":
+        return [int(c) + 1 for c in count_below(own)]
+    if name == "row_number":
+        return [int(c) + 1 for c in count_below(own)]
+    if name == "percent_rank":
+        smaller = count_below(own)
+        sizes = inputs.frame_counts()
+        return [0.0 if sizes[i] <= 1 else float(smaller[i] / (sizes[i] - 1))
+                for i in range(part.n)]
+    if name == "cume_dist":
+        at_most = count_below(own + 1)
+        sizes = inputs.frame_counts()
+        return [None if sizes[i] == 0 else float(at_most[i] / sizes[i])
+                for i in range(part.n)]
+    if name == "ntile":
+        row_numbers = count_below(own)  # 0-based
+        sizes = inputs.frame_counts()
+        buckets = call.buckets
+        return [None if sizes[i] == 0
+                else int((row_numbers[i] * buckets) // sizes[i]) + 1
+                for i in range(part.n)]
+    raise WindowFunctionError(f"unsupported rank function {name!r}")
+
+
+def _dense_rank(inputs: CallInput, keys: np.ndarray) -> List[Any]:
+    part = inputs.part
+    if part.has_exclusion:
+        # Previous-occurrence chains through EXCLUDE holes make the 3-d
+        # count inexact; recompute those frames directly.
+        return naive_dense_rank(keys, inputs.keep, part.pieces)
+    kept_keys = keys[inputs.kept_rows]
+    index = DenseRankIndex(kept_keys)
+    ranks = index.batched_dense_rank(inputs.start_f, inputs.end_f, keys)
+    return [int(r) for r in ranks]
+
+
+def _evaluate_naive(name: str, call: WindowCall, part: PartitionView,
+                    inputs: CallInput, keys: np.ndarray) -> List[Any]:
+    if name == "dense_rank":
+        return naive_dense_rank(keys, inputs.keep, part.pieces)
+    if name in ("rank", "row_number"):
+        return naive_rank(keys, inputs.keep, part.pieces, ties="strict")
+    sizes = inputs.frame_counts()
+    if name == "percent_rank":
+        ranks = naive_rank(keys, inputs.keep, part.pieces, ties="strict")
+        return [0.0 if sizes[i] <= 1 else float((ranks[i] - 1) / (sizes[i] - 1))
+                for i in range(part.n)]
+    if name == "cume_dist":
+        at_most = naive_rank(keys, inputs.keep, part.pieces, ties="at_most")
+        return [None if sizes[i] == 0 else float((at_most[i] - 1) / sizes[i])
+                for i in range(part.n)]
+    if name == "ntile":
+        ranks = naive_rank(keys, inputs.keep, part.pieces, ties="strict")
+        buckets = call.buckets
+        return [None if sizes[i] == 0
+                else int(((ranks[i] - 1) * buckets) // sizes[i]) + 1
+                for i in range(part.n)]
+    raise WindowFunctionError(f"unsupported rank function {name!r}")
+
+
+def _evaluate_ostree(name: str, call: WindowCall, part: PartitionView,
+                     inputs: CallInput, keys: np.ndarray) -> List[Any]:
+    if name != "rank" or part.has_exclusion or inputs.keep.sum() != part.n:
+        return _evaluate_naive(name, call, part, inputs, keys)
+    return windowed_rank_ostree(keys, part.start, part.end,
+                                rank_values=keys)

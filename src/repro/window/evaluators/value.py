@@ -1,0 +1,123 @@
+"""Framed value functions: FIRST_VALUE, LAST_VALUE, NTH_VALUE
+(Section 4.5).
+
+Value functions are the k-th-qualifying selects of the percentile
+machinery with fixed k: 0 for FIRST_VALUE, size-1 for LAST_VALUE, n-1
+(or size-n with FROM LAST) for NTH_VALUE. The function-level ORDER BY
+defaults to the frame order, which recovers the classic SQL semantics;
+IGNORE NULLS drops NULL argument rows before the tree is built.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import numpy as np
+
+from repro.baselines.naive import naive_kth
+from repro.errors import WindowFunctionError
+from repro.mst.tree import MergeSortTree
+from repro.mst.vectorized import batched_select
+from repro.window.calls import WindowCall
+from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.partition import PartitionView
+
+_TREE_FANOUT = 2
+
+
+def _ks_for(call: WindowCall, sizes: np.ndarray) -> np.ndarray:
+    """Per-row 0-based select index; may be out of range (-> NULL)."""
+    if call.function == "first_value":
+        return np.zeros(len(sizes), dtype=np.int64)
+    if call.function == "last_value":
+        return sizes - 1
+    if call.function == "nth_value":
+        if call.from_last:
+            return sizes - call.nth
+        return np.full(len(sizes), call.nth - 1, dtype=np.int64)
+    raise WindowFunctionError(f"unsupported value function {call.function!r}")
+
+
+def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
+    inputs = CallInput(call, part, skip_null_arg=call.ignore_nulls)
+    counts = inputs.frame_counts()
+    ks = _ks_for(call, counts)
+    if call.algorithm == "naive":
+        return _evaluate_naive(call, part, inputs, ks)
+    if call.algorithm != "mst":
+        raise WindowFunctionError(
+            f"algorithm {call.algorithm!r} does not support value functions")
+
+    perm = inputs.kept_permutation(inputs.function_sort_columns())
+    tree = MergeSortTree(perm, fanout=_TREE_FANOUT)
+    values = inputs.kept_values(call.args[0])
+    validity = inputs.kept_validity(call.args[0])
+
+    in_range = (ks >= 0) & (ks < counts)
+    out: List[Any] = [None] * part.n
+    if inputs.single_piece:
+        lo, hi = inputs.pieces_f[0]
+        idx = np.flatnonzero(in_range)
+        if len(idx):
+            _, pos = batched_select(tree.levels, ks[idx], lo[idx], hi[idx])
+            for j, row in enumerate(idx):
+                p = int(pos[j])
+                out[row] = infer_scalar(values[p]) if validity[p] else None
+        return out
+    for row in range(part.n):
+        if not in_range[row]:
+            continue
+        ranges = inputs.row_pieces_f(row)
+        _, p = tree.select(int(ks[row]), ranges)
+        out[row] = infer_scalar(values[p]) if validity[p] else None
+    return out
+
+
+def _evaluate_naive(call: WindowCall, part: PartitionView,
+                    inputs: CallInput, ks: np.ndarray) -> List[Any]:
+    values, validity = part.column(call.args[0])
+    result_values = [values[i] if validity[i] else None
+                     for i in range(part.n)]
+    sort_columns = inputs.function_sort_columns()
+    if sort_columns:
+        order_keys = _composite_keys(sort_columns, part.n)
+    else:
+        order_keys = list(range(part.n))
+    raw = naive_kth(order_keys, result_values, inputs.keep, part.pieces,
+                    [int(k) for k in ks])
+    return [infer_scalar(v) for v in raw]
+
+
+class _OrderKey:
+    """Comparable composite of one row's sort cells."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, cells) -> None:
+        self.cells = cells
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        for a, b in zip(self.cells, other.cells):
+            if a < b:
+                return True
+            if b < a:
+                return False
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.cells == other.cells
+
+
+def _composite_keys(sort_columns, n: int) -> List[_OrderKey]:
+    from repro.sortutil import _Cell
+    keys = []
+    for i in range(n):
+        cells = []
+        for col in sort_columns:
+            null = col.validity is not None and not col.validity[i]
+            value = None if null else col.values[i]
+            if isinstance(value, np.generic):
+                value = value.item()
+            cells.append(_Cell(value, col.descending, col.nulls_last))
+        keys.append(_OrderKey(tuple(cells)))
+    return keys

@@ -1,0 +1,175 @@
+"""Window frame and window specification types (Section 2.2).
+
+A :class:`FrameSpec` mirrors the SQL grammar::
+
+    [ROWS | RANGE | GROUPS] BETWEEN <bound> AND <bound>
+    [EXCLUDE NO OTHERS | CURRENT ROW | GROUP | TIES]
+
+Bound offsets may be constants or per-row arrays — SQL allows arbitrary
+expressions as frame boundaries (the stock-limit-order example of Section
+2.2), which is also what produces the non-monotonic frames of the Figure
+12 experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FrameError
+
+
+class FrameMode(enum.Enum):
+    ROWS = "rows"
+    RANGE = "range"
+    GROUPS = "groups"
+
+
+class BoundType(enum.Enum):
+    UNBOUNDED_PRECEDING = "unbounded preceding"
+    PRECEDING = "preceding"
+    CURRENT_ROW = "current row"
+    FOLLOWING = "following"
+    UNBOUNDED_FOLLOWING = "unbounded following"
+
+
+Offset = Union[int, float, np.ndarray, None]
+
+
+@dataclass(frozen=True)
+class FrameBound:
+    """One frame boundary; ``offset`` is used by PRECEDING/FOLLOWING."""
+
+    type: BoundType
+    offset: Offset = None
+
+    def __post_init__(self) -> None:
+        needs_offset = self.type in (BoundType.PRECEDING, BoundType.FOLLOWING)
+        if needs_offset and self.offset is None:
+            raise FrameError(f"{self.type.value} requires an offset")
+        if not needs_offset and self.offset is not None:
+            raise FrameError(f"{self.type.value} does not take an offset")
+        if needs_offset and np.isscalar(self.offset) and self.offset < 0:
+            raise FrameError("frame offsets must be non-negative")
+
+    def offset_array(self, n: int) -> np.ndarray:
+        """Materialise the offset as a per-row array."""
+        if self.offset is None:
+            raise FrameError(f"{self.type.value} has no offset")
+        if np.isscalar(self.offset):
+            return np.full(n, self.offset)
+        arr = np.asarray(self.offset)
+        if len(arr) != n:
+            raise FrameError(
+                f"per-row offset has length {len(arr)}, expected {n}")
+        if (arr < 0).any():
+            raise FrameError("frame offsets must be non-negative")
+        return arr
+
+
+def unbounded_preceding() -> FrameBound:
+    return FrameBound(BoundType.UNBOUNDED_PRECEDING)
+
+
+def unbounded_following() -> FrameBound:
+    return FrameBound(BoundType.UNBOUNDED_FOLLOWING)
+
+
+def current_row() -> FrameBound:
+    return FrameBound(BoundType.CURRENT_ROW)
+
+
+def preceding(offset: Offset) -> FrameBound:
+    return FrameBound(BoundType.PRECEDING, offset)
+
+
+def following(offset: Offset) -> FrameBound:
+    return FrameBound(BoundType.FOLLOWING, offset)
+
+
+class FrameExclusion(enum.Enum):
+    NO_OTHERS = "exclude no others"
+    CURRENT_ROW = "exclude current row"
+    GROUP = "exclude group"
+    TIES = "exclude ties"
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """A complete frame clause."""
+
+    mode: FrameMode = FrameMode.ROWS
+    start: FrameBound = field(default_factory=unbounded_preceding)
+    end: FrameBound = field(default_factory=current_row)
+    exclusion: FrameExclusion = FrameExclusion.NO_OTHERS
+
+    def __post_init__(self) -> None:
+        if self.start.type is BoundType.UNBOUNDED_FOLLOWING:
+            raise FrameError("frame start cannot be UNBOUNDED FOLLOWING")
+        if self.end.type is BoundType.UNBOUNDED_PRECEDING:
+            raise FrameError("frame end cannot be UNBOUNDED PRECEDING")
+
+    @classmethod
+    def default(cls) -> "FrameSpec":
+        """SQL's default frame: RANGE UNBOUNDED PRECEDING .. CURRENT ROW."""
+        return cls(FrameMode.RANGE, unbounded_preceding(), current_row())
+
+    @classmethod
+    def rows(cls, start: FrameBound, end: FrameBound,
+             exclusion: FrameExclusion = FrameExclusion.NO_OTHERS) -> "FrameSpec":
+        return cls(FrameMode.ROWS, start, end, exclusion)
+
+    @classmethod
+    def range(cls, start: FrameBound, end: FrameBound,
+              exclusion: FrameExclusion = FrameExclusion.NO_OTHERS) -> "FrameSpec":
+        return cls(FrameMode.RANGE, start, end, exclusion)
+
+    @classmethod
+    def groups(cls, start: FrameBound, end: FrameBound,
+               exclusion: FrameExclusion = FrameExclusion.NO_OTHERS) -> "FrameSpec":
+        return cls(FrameMode.GROUPS, start, end, exclusion)
+
+    @property
+    def has_exclusion(self) -> bool:
+        return self.exclusion is not FrameExclusion.NO_OTHERS
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item: a column name (or expression id) + direction."""
+
+    column: str
+    descending: bool = False
+    nulls_last: Optional[bool] = None  # None = SQL default for direction
+
+    def resolved_nulls_last(self) -> bool:
+        if self.nulls_last is None:
+            return not self.descending
+        return self.nulls_last
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """The OVER clause: partitioning, ordering and framing."""
+
+    partition_by: Sequence[str] = ()
+    order_by: Sequence[OrderItem] = ()
+    frame: Optional[FrameSpec] = None
+
+    def effective_frame(self) -> FrameSpec:
+        """The frame to use; SQL defaults to RANGE UNBOUNDED PRECEDING ..
+        CURRENT ROW when an ORDER BY is present, else the full partition."""
+        if self.frame is not None:
+            return self.frame
+        if self.order_by:
+            return FrameSpec.default()
+        return FrameSpec(FrameMode.ROWS, unbounded_preceding(),
+                         unbounded_following())
+
+
+def order_item(column: str, descending: bool = False,
+               nulls_last: Optional[bool] = None) -> OrderItem:
+    return OrderItem(column, descending, nulls_last)

@@ -1,0 +1,297 @@
+"""The window operator: partition, sort, frame, evaluate, scatter.
+
+The classic structure from Leis et al. [27]: the input is sorted once by
+(PARTITION BY, ORDER BY); each partition resolves its frame bounds and
+evaluates every window function against shared index structures; results
+are scattered back to the original row order as new columns.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FrameError, WindowFunctionError
+from repro.sortutil import SortColumn, sorted_equal_runs, stable_argsort
+from repro.table.column import Column, DataType
+from repro.table.schema import Field, Schema
+from repro.table.table import Table
+from repro.window.bounds import (
+    PeerGroups,
+    exclusion_ranges,
+    resolve_bounds,
+)
+from repro.window.calls import WindowCall
+from repro.window.evaluators import evaluate_call
+from repro.window.frame import (
+    BoundType,
+    FrameBound,
+    FrameExclusion,
+    FrameMode,
+    FrameSpec,
+    WindowSpec,
+)
+from repro.window.partition import PartitionView
+
+
+class WindowOperator:
+    """Evaluates window function calls over a table.
+
+    Calls sharing a :class:`WindowSpec` share partitioning, sorting and
+    frame resolution (the reuse optimisation of Kohn et al. [24] /
+    Cao et al. [11]).
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._groups: List[Tuple[WindowSpec, List[WindowCall]]] = []
+
+    def add(self, call: WindowCall, spec: WindowSpec) -> "WindowOperator":
+        for existing_spec, calls in self._groups:
+            if existing_spec == spec:
+                calls.append(call)
+                return self
+        self._groups.append((spec, [call]))
+        return self
+
+    def run(self) -> Table:
+        """Evaluate all calls; returns the input table with one appended
+        column per call (in registration order)."""
+        outputs: Dict[str, Tuple[List[Any], WindowCall]] = {}
+        ordered_names: List[str] = []
+        for spec, calls in self._groups:
+            results = _evaluate_group(self.table, spec, calls)
+            for call, values in zip(calls, results):
+                name = _unique_name(call.output_name, set(outputs)
+                                    | set(self.table.schema.names()))
+                outputs[name] = (values, call)
+                ordered_names.append(name)
+        fields = list(self.table.schema.fields)
+        columns = list(self.table.columns)
+        for name in ordered_names:
+            values, _ = outputs[name]
+            dtype = _infer_dtype(values)
+            fields.append(Field(name, dtype))
+            columns.append(Column(dtype, values))
+        return Table.from_columns(Schema(fields), columns,
+                                  name=self.table.name)
+
+
+def window_query(table: Table, calls: Sequence[WindowCall],
+                 spec: WindowSpec) -> Table:
+    """One-shot convenience: evaluate ``calls`` over one window spec."""
+    operator = WindowOperator(table)
+    for call in calls:
+        operator.add(call, spec)
+    return operator.run()
+
+
+# ----------------------------------------------------------------------
+# group evaluation
+# ----------------------------------------------------------------------
+def _evaluate_group(table: Table, spec: WindowSpec,
+                    calls: Sequence[WindowCall]) -> List[List[Any]]:
+    n = table.num_rows
+    partition_columns = []
+    for name in spec.partition_by:
+        values, validity = _column_data(table, name)
+        partition_columns.append(SortColumn(values, validity=validity))
+    order_columns = []
+    for item in spec.order_by:
+        values, validity = _column_data(table, name=item.column)
+        order_columns.append(SortColumn(values, descending=item.descending,
+                                        nulls_last=item.resolved_nulls_last(),
+                                        validity=validity))
+    order = stable_argsort(partition_columns + order_columns, n)
+
+    # Partition boundaries along the sorted order.
+    if partition_columns:
+        partition_ids = sorted_equal_runs(partition_columns, order)
+    else:
+        partition_ids = np.zeros(n, dtype=np.int64)
+
+    frame = spec.effective_frame()
+    all_column_data = {name: _column_data(table, name)
+                       for name in table.schema.names()}
+
+    results: List[List[Any]] = [[None] * n for _ in calls]
+    boundaries = np.flatnonzero(
+        np.r_[True, partition_ids[1:] != partition_ids[:-1]])
+    starts = list(boundaries) + [n]
+    for p in range(len(starts) - 1):
+        rows = order[starts[p]:starts[p + 1]]
+        view = _build_partition(all_column_data, rows, spec, frame,
+                                order_columns, table)
+        for call_index, call in enumerate(calls):
+            values = evaluate_call(call, view)
+            values = _restore_dates(call, table, values)
+            for local, row in enumerate(rows):
+                results[call_index][row] = values[local]
+    return results
+
+
+_DATE_PRESERVING = frozenset(
+    {"first_value", "last_value", "nth_value", "lead", "lag", "min", "max",
+     "percentile_disc", "mode"})
+
+
+def _restore_dates(call: WindowCall, table: Table,
+                   values: List[Any]) -> List[Any]:
+    """Evaluators see DATE columns as day numbers (Section 5.1); convert
+    selected day numbers back to dates for date-preserving functions."""
+    if call.function not in _DATE_PRESERVING or not call.args:
+        return values
+    if call.args[0] not in table.schema:
+        return values
+    if table.schema.field(call.args[0]).dtype is not DataType.DATE:
+        return values
+    return [None if v is None
+            else datetime.date(1970, 1, 1) + datetime.timedelta(days=int(v))
+            for v in values]
+
+
+def _column_data(table: Table, name: str) -> Tuple[Any, np.ndarray]:
+    column = table.column(name)
+    return column.raw(), column.validity
+
+
+def _gather(values: Any, rows: np.ndarray) -> Any:
+    if isinstance(values, np.ndarray):
+        return values[rows]
+    return [values[i] for i in rows]
+
+
+def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
+                     rows: np.ndarray, spec: WindowSpec, frame: FrameSpec,
+                     order_columns: List[SortColumn],
+                     table: Table) -> PartitionView:
+    local_n = len(rows)
+    columns: Dict[str, Tuple[Any, np.ndarray]] = {}
+    for name, (values, validity) in all_column_data.items():
+        columns[name] = (_gather(values, rows), validity[rows])
+
+    # Peer groups along the partition (identity order after the sort).
+    local_order_cols = []
+    for item, col in zip(spec.order_by, order_columns):
+        local_order_cols.append(SortColumn(
+            _gather(col.values, rows),
+            descending=col.descending, nulls_last=col.nulls_last,
+            validity=None if col.validity is None else col.validity[rows]))
+    if local_order_cols:
+        identity = np.arange(local_n, dtype=np.int64)
+        peers = PeerGroups(sorted_equal_runs(local_order_cols, identity))
+    else:
+        peers = PeerGroups.single_group(local_n)
+
+    range_keys = None
+    if frame.mode is FrameMode.RANGE:
+        range_keys = _range_keys(spec, local_order_cols, local_n)
+
+    local_frame = _localize_offsets(frame, rows, table.num_rows)
+    start, end = resolve_bounds(local_frame, local_n, range_keys=range_keys,
+                                peers=peers)
+    pieces = exclusion_ranges(start, end, frame.exclusion, peers)
+    pieces = [(np.asarray(lo, dtype=np.int64), np.asarray(hi, dtype=np.int64))
+              for lo, hi in pieces]
+    holes = _holes(start, end, frame.exclusion, peers, local_n)
+    return PartitionView(columns, local_n, start, end, pieces, holes, peers,
+                         frame.exclusion, window_order=spec.order_by)
+
+
+def _range_keys(spec: WindowSpec, local_order_cols: List[SortColumn],
+                n: int) -> Optional[np.ndarray]:
+    """The single ascending numeric key RANGE offsets search against, or
+    None when no such key exists (legal as long as the frame uses only
+    UNBOUNDED / CURRENT ROW bounds, which peer groups can resolve)."""
+    if len(local_order_cols) != 1:
+        return None
+    col = local_order_cols[0]
+    values = col.values
+    if not isinstance(values, np.ndarray):
+        return None
+    keys = values.astype(np.float64)
+    if col.descending:
+        keys = -keys
+    if col.validity is not None:
+        nulls_at = np.inf if col.nulls_last else -np.inf
+        keys = np.where(col.validity, keys, nulls_at)
+    return keys
+
+
+def _localize_offsets(frame: FrameSpec, rows: np.ndarray,
+                      table_rows: int) -> FrameSpec:
+    """Per-row offset arrays are given in original table order; gather
+    them into the partition's local order."""
+
+    def localize(bound: FrameBound) -> FrameBound:
+        if bound.offset is None or np.isscalar(bound.offset):
+            return bound
+        arr = np.asarray(bound.offset)
+        if len(arr) != table_rows:
+            raise FrameError(
+                "per-row frame offsets must align with the input table")
+        return FrameBound(bound.type, arr[rows])
+
+    if (frame.start.offset is None or np.isscalar(frame.start.offset)) and \
+            (frame.end.offset is None or np.isscalar(frame.end.offset)):
+        return frame
+    return FrameSpec(frame.mode, localize(frame.start), localize(frame.end),
+                     frame.exclusion)
+
+
+def _holes(start: np.ndarray, end: np.ndarray, exclusion: FrameExclusion,
+           peers: PeerGroups, n: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The excluded ranges, clipped to the frame."""
+    if exclusion is FrameExclusion.NO_OTHERS:
+        return []
+    i = np.arange(n, dtype=np.int64)
+    if exclusion is FrameExclusion.CURRENT_ROW:
+        return [(np.clip(i, start, end), np.clip(i + 1, start, end))]
+    ps, pe = peers.peer_start(), peers.peer_end()
+    if exclusion is FrameExclusion.GROUP:
+        return [(np.clip(ps, start, end), np.clip(pe, start, end))]
+    # TIES: the peer group minus the current row itself.
+    return [(np.clip(ps, start, end), np.clip(i, start, end)),
+            (np.clip(i + 1, start, end), np.clip(pe, start, end))]
+
+
+def _unique_name(name: str, taken: set) -> str:
+    if name not in taken:
+        return name
+    suffix = 1
+    while f"{name}_{suffix}" in taken:
+        suffix += 1
+    return f"{name}_{suffix}"
+
+
+def _infer_dtype(values: Sequence[Any]) -> DataType:
+    has_float = has_int = has_str = has_date = has_bool = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            has_bool = True
+        elif isinstance(value, int):
+            has_int = True
+        elif isinstance(value, float):
+            has_float = True
+        elif isinstance(value, str):
+            has_str = True
+        elif isinstance(value, datetime.date):
+            has_date = True
+        else:
+            raise WindowFunctionError(
+                f"cannot infer column type for value {value!r}")
+    if has_str:
+        return DataType.STRING
+    if has_date:
+        return DataType.DATE
+    if has_float:
+        return DataType.FLOAT64
+    if has_int:
+        return DataType.INT64
+    if has_bool:
+        return DataType.BOOL
+    return DataType.FLOAT64

@@ -1,0 +1,80 @@
+"""Per-partition evaluation context for window functions."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WindowFunctionError
+from repro.sortutil import SortColumn
+from repro.window.bounds import PeerGroups
+from repro.window.frame import FrameExclusion, OrderItem
+
+ColumnData = Tuple[Any, np.ndarray]  # (values, validity) in partition order
+RangePair = Tuple[np.ndarray, np.ndarray]
+
+
+class PartitionView:
+    """One window partition, sorted by the window ORDER BY, with its frame
+    geometry fully resolved.
+
+    * ``start`` / ``end`` — the frame before exclusion;
+    * ``pieces`` — the frame after the EXCLUDE clause, as 1–3 continuous
+      ranges per row;
+    * ``holes`` — the excluded ranges (``[start, end)`` minus the pieces),
+      needed for the exact distinct-aggregate correction of Section 4.7.
+    """
+
+    def __init__(self, columns: Dict[str, ColumnData], n: int,
+                 start: np.ndarray, end: np.ndarray,
+                 pieces: List[RangePair], holes: List[RangePair],
+                 peers: PeerGroups, exclusion: FrameExclusion,
+                 window_order: Sequence[OrderItem] = ()) -> None:
+        self.columns = columns
+        self.n = n
+        self.start = start
+        self.end = end
+        self.pieces = pieces
+        self.holes = holes
+        self.peers = peers
+        self.exclusion = exclusion
+        self.window_order = tuple(window_order)
+
+    @property
+    def has_exclusion(self) -> bool:
+        return self.exclusion is not FrameExclusion.NO_OTHERS
+
+    def column(self, name: str) -> ColumnData:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise WindowFunctionError(
+                f"window function references unknown column {name!r}") from None
+
+    def sort_columns(self, items: Sequence[OrderItem]) -> List[SortColumn]:
+        """Build sort columns (full partition) from ORDER BY items."""
+        out = []
+        for item in items:
+            values, validity = self.column(item.column)
+            out.append(SortColumn(values, descending=item.descending,
+                                  nulls_last=item.resolved_nulls_last(),
+                                  validity=validity))
+        return out
+
+    def row_pieces(self, row: int) -> List[Tuple[int, int]]:
+        """Non-empty frame ranges of one row (full coordinates)."""
+        out = []
+        for lo, hi in self.pieces:
+            a, b = int(lo[row]), int(hi[row])
+            if a < b:
+                out.append((a, b))
+        return out
+
+    def row_holes(self, row: int) -> List[Tuple[int, int]]:
+        out = []
+        for lo, hi in self.holes:
+            a, b = int(lo[row]), int(hi[row])
+            if a < b:
+                out.append((a, b))
+        return out

@@ -1,0 +1,41 @@
+"""The ``python -m repro.bench`` figure-regeneration CLI."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig9" in capsys.readouterr().out
+
+
+def test_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_run_memory_experiment(capsys):
+    assert main(["memory"]) == 0
+    out = capsys.readouterr().out
+    assert "12.4" in out and "4.4" in out
+
+
+def test_run_crossovers_with_scale(capsys, monkeypatch):
+    assert main(["fig11-crossovers", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "crossover" in out.lower()
+
+
+def test_run_fig14_small(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+    assert main(["fig14"]) == 0
+    out = capsys.readouterr().out
+    assert "build tree layers" in out

@@ -1,0 +1,96 @@
+"""The figure-regeneration functions run correctly at tiny scale.
+
+The full-scale shape assertions live in ``benchmarks/``; these tests
+exercise the same code paths quickly so ``pytest tests/`` alone covers
+the harness.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.figures import (
+    fig09_sql_formulations,
+    fig10_scalability,
+    fig10_simulated_sweep,
+    fig11_crossovers,
+    fig11_frame_sizes,
+    fig12_nonmonotonic,
+    fig13_fanout_sampling,
+    fig14_cost_breakdown,
+    memory_model_table,
+    table1_complexity,
+)
+
+
+def test_fig09_structure():
+    series = fig09_sql_formulations(num_rows=300, frame=50)
+    approaches = [row[0] for row in series.rows]
+    assert "native merge sort tree" in approaches
+    assert "SQL correlated subquery" in approaches
+    for row in series.rows:
+        assert row[1] > 0 and row[2] > 0
+
+
+def test_fig10_structure():
+    series = fig10_scalability(sizes=[300, 600])
+    functions = {row[0] for row in series.rows}
+    assert functions == {"median", "rank", "lead", "distinct count"}
+    for row in series.rows:
+        assert row[5] > 0  # simulated throughput always present
+
+
+def test_fig10_simulated_sweep():
+    series = fig10_simulated_sweep(sizes=[100_000, 800_000])
+    mst = {row[1]: row[2] for row in series.rows if row[0] == "mst"}
+    assert mst[800_000] > mst[100_000]
+
+
+def test_fig11_structure():
+    series = fig11_frame_sizes(num_rows=400, frames=[5, 50, 400])
+    algorithms = {row[0] for row in series.rows}
+    assert algorithms == {"mst", "incremental", "ostree", "naive"}
+
+
+def test_fig11_crossovers_match_paper():
+    series = fig11_crossovers()
+    for algorithm, found, paper in series.rows:
+        assert paper / 2 <= found <= paper * 2
+
+
+def test_fig12_structure():
+    series = fig12_nonmonotonic(num_rows=300, ms=[0.0, 1.0])
+    deltas = {row[1]: row[4] for row in series.rows if row[0] == "mst"}
+    assert deltas[1.0] > deltas[0.0], \
+        "non-monotonicity must raise the average frame delta"
+
+
+def test_fig13_structure():
+    series = fig13_fanout_sampling(num_keys=400, fanouts=[2, 8],
+                                   samplings=[4, 32], queries=200)
+    assert len(series.rows) == 4
+    best = min(row[3] for row in series.rows)
+    assert best == 1.0
+
+
+def test_fig14_structure():
+    series = fig14_cost_breakdown(num_rows=3_000)
+    labels = [row[0] for row in series.rows]
+    assert labels[-1] == "TOTAL"
+    fractions = [row[2] for row in series.rows[:-1]]
+    assert abs(sum(fractions) - 1.0) < 1e-6
+
+
+def test_table1_structure():
+    series = table1_complexity(sizes=[200, 400])
+    keys = {(row[0], row[1]) for row in series.rows}
+    assert ("percentile", "MST") in keys
+    assert ("dist. count", "naive") in keys
+    for row in series.rows:
+        assert math.isfinite(row[4])
+
+
+def test_memory_model_table_exact():
+    series = memory_model_table()
+    for _, _, gigabytes, paper in series.rows:
+        assert gigabytes == pytest.approx(paper, abs=0.01)

@@ -1,0 +1,44 @@
+"""Error hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    FrameError,
+    ReproError,
+    SchemaError,
+    SqlAnalysisError,
+    SqlError,
+    SqlSyntaxError,
+    TypeMismatchError,
+    WindowFunctionError,
+)
+
+
+def test_everything_derives_from_repro_error():
+    for cls in (SchemaError, TypeMismatchError, FrameError,
+                WindowFunctionError, SqlError, SqlSyntaxError,
+                SqlAnalysisError, ExecutionError):
+        assert issubclass(cls, ReproError)
+
+
+def test_sql_hierarchy():
+    assert issubclass(SqlSyntaxError, SqlError)
+    assert issubclass(SqlAnalysisError, SqlError)
+    assert issubclass(TypeMismatchError, SchemaError)
+
+
+def test_syntax_error_carries_position():
+    error = SqlSyntaxError("bad", position=17)
+    assert error.position == 17
+    assert SqlSyntaxError("bad").position == -1
+
+
+def test_catchable_with_single_clause():
+    from repro.sql import Catalog, execute
+    try:
+        execute("select * from missing", Catalog())
+    except ReproError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected a ReproError")

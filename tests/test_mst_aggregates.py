@@ -1,0 +1,94 @@
+"""AggregateSpec semantics and prefix kernels."""
+
+import numpy as np
+import pytest
+
+from repro.mst.aggregates import (
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    _segmented_cumulative,
+    make_udaf,
+)
+
+
+class TestBuiltins:
+    def test_sum_merge(self):
+        assert SUM.merge(None, 3) == 3
+        assert SUM.merge(3, None) == 3
+        assert SUM.merge(3, 4) == 7
+        assert SUM.identity is None
+        assert SUM.finalize(10) == 10
+
+    def test_count(self):
+        state = COUNT.identity
+        for value in [5, None, "x"]:
+            state = COUNT.merge(state, COUNT.lift(value))
+        assert COUNT.finalize(state) == 3
+
+    def test_min_max(self):
+        assert MIN.merge(MIN.lift(5), MIN.lift(2)) == 2
+        assert MAX.merge(MAX.lift(5), MAX.lift(2)) == 5
+        assert MIN.merge(None, 7) == 7
+
+    def test_avg(self):
+        state = AVG.identity
+        for value in [2.0, 4.0, 9.0]:
+            state = AVG.merge(state, AVG.lift(value))
+        assert AVG.finalize(state) == pytest.approx(5.0)
+        assert AVG.finalize(AVG.identity) is None
+
+    def test_merge_many(self):
+        states = [SUM.lift(v) for v in [1, 2, 3]]
+        assert SUM.merge_many(states) == 6
+        assert SUM.merge_many([]) is None
+
+
+class TestPrefixKernels:
+    @pytest.mark.parametrize("run_length", [1, 2, 3, 4, 7, 16])
+    def test_sum_prefix(self, run_length, rng):
+        values = rng.normal(size=23)
+        got = SUM.prefix_numpy(values, run_length)
+        for start in range(0, 23, run_length):
+            stop = min(start + run_length, 23)
+            running = 0.0
+            for i in range(start, stop):
+                running += values[i]
+                assert got[i] == pytest.approx(running)
+
+    @pytest.mark.parametrize("spec,op", [(MIN, min), (MAX, max)])
+    def test_min_max_prefix(self, spec, op, rng):
+        values = rng.integers(0, 100, size=19).astype(np.float64)
+        got = spec.prefix_numpy(values, 4)
+        for start in range(0, 19, 4):
+            stop = min(start + 4, 19)
+            for i in range(start, stop):
+                assert got[i] == op(values[start:i + 1])
+
+    def test_count_prefix(self):
+        got = COUNT.prefix_numpy(np.zeros(10), 4)
+        assert got.tolist() == [1, 2, 3, 4, 1, 2, 3, 4, 1, 2]
+
+    def test_segmented_cumulative_empty(self):
+        out = _segmented_cumulative(np.array([]), 4, np.cumsum)
+        assert len(out) == 0
+
+
+class TestUdaf:
+    def test_string_concat_udaf(self):
+        spec = make_udaf(
+            "concat", identity="",
+            lift=lambda v: str(v),
+            merge=lambda a, b: a + b)
+        state = spec.identity
+        for value in ["a", "b", "c"]:
+            state = spec.merge(state, spec.lift(value))
+        assert spec.finalize(state) == "abc"
+        assert spec.prefix_numpy is None
+
+    def test_bit_or_udaf(self):
+        spec = make_udaf("bit_or", identity=0, lift=lambda v: v,
+                         merge=lambda a, b: a | b)
+        assert spec.merge_many([1, 2, 4]) == 7

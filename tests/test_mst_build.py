@@ -1,0 +1,138 @@
+"""Merge sort tree construction invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mst.aggregates import SUM
+from repro.mst.build import (
+    build_levels_numpy,
+    build_levels_scalar,
+    choose_index_dtype,
+)
+
+
+def _assert_levels_valid(levels, keys):
+    n = len(keys)
+    assert np.array_equal(levels.keys[0], keys)
+    for level in range(levels.height):
+        arr = levels.keys[level]
+        assert len(arr) == n
+        run = levels.fanout ** level
+        for start in range(0, n, run):
+            stop = min(start + run, n)
+            segment = arr[start:stop]
+            assert np.all(segment[:-1] <= segment[1:]), \
+                f"run [{start},{stop}) at level {level} not sorted"
+        # each level is a permutation of the input
+        assert sorted(arr.tolist()) == sorted(keys.tolist())
+    # top level fully sorted
+    top = levels.keys[-1]
+    assert np.all(top[:-1] <= top[1:])
+
+
+@pytest.mark.parametrize("builder", [build_levels_numpy, build_levels_scalar])
+@pytest.mark.parametrize("fanout", [2, 3, 5, 32])
+def test_levels_sorted_runs(builder, fanout, rng):
+    keys = rng.integers(-5, 40, size=101)
+    levels = builder(keys, fanout=fanout, sample_every=4)
+    _assert_levels_valid(levels, keys)
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 64, 65, 100])
+def test_edge_sizes(n, rng):
+    keys = rng.integers(0, 10, size=n)
+    levels = build_levels_numpy(keys, fanout=2)
+    assert levels.n == n
+    if n:
+        _assert_levels_valid(levels, keys)
+
+
+def test_builders_produce_identical_levels_and_bridges(rng):
+    keys = rng.integers(0, 30, size=77)
+    for fanout in (2, 4):
+        for k in (1, 3, 16):
+            a = build_levels_numpy(keys, fanout=fanout, sample_every=k)
+            b = build_levels_scalar(keys, fanout=fanout, sample_every=k)
+            for la, lb in zip(a.keys, b.keys):
+                assert np.array_equal(la, lb)
+            for ba, bb in zip(a.bridges, b.bridges):
+                if ba is None:
+                    assert bb is None
+                else:
+                    assert np.array_equal(ba, bb)
+
+
+def test_bridges_are_consumed_counts(rng):
+    """Bridge rows must equal, per child, the number of that child's
+    elements among the first s*k outputs of the parent slab."""
+    keys = rng.integers(0, 50, size=60)
+    fanout, k = 2, 4
+    levels = build_levels_scalar(keys, fanout=fanout, sample_every=k)
+    for level in range(1, levels.height):
+        child_len = fanout ** (level - 1)
+        parent_len = child_len * fanout
+        bridge = levels.bridges[level]
+        spslab = levels.samples_per_slab(level)
+        for slab_start in range(0, levels.n, parent_len):
+            slab_stop = min(slab_start + parent_len, levels.n)
+            # Reconstruct the merge to count consumption.
+            children = []
+            for c in range(fanout):
+                lo = slab_start + c * child_len
+                hi = min(lo + child_len, slab_stop)
+                if lo < hi:
+                    children.append(list(levels.keys[level - 1][lo:hi]))
+                else:
+                    children.append([])
+            heads = [0] * fanout
+            slab_index = slab_start // parent_len
+            for out_pos in range(slab_start, slab_stop):
+                rel = out_pos - slab_start
+                if rel % k == 0:
+                    row = slab_index * spslab + rel // k
+                    for c in range(fanout):
+                        assert bridge[row, c] == heads[c], \
+                            (level, slab_start, out_pos, c)
+                best = min(
+                    (c for c in range(fanout)
+                     if heads[c] < len(children[c])),
+                    key=lambda c: (children[c][heads[c]], c))
+                heads[best] += 1
+
+
+def test_non_integer_keys_rejected():
+    with pytest.raises(ValueError):
+        build_levels_numpy(np.array([1.5, 2.5]))
+    with pytest.raises(ValueError):
+        build_levels_numpy(np.array([[1, 2], [3, 4]]))
+
+
+def test_aggregate_requires_payload(rng):
+    with pytest.raises(ValueError):
+        build_levels_numpy(rng.integers(0, 5, 10), aggregate=SUM)
+
+
+def test_aggregate_prefix_annotation(rng):
+    keys = rng.integers(0, 20, size=33)
+    payload = rng.normal(size=33)
+    levels = build_levels_numpy(keys, fanout=2, aggregate=SUM,
+                                payload=payload)
+    # level 0 prefixes are the payload itself (runs of length 1)
+    assert np.allclose(levels.agg_prefix[0], payload)
+    # every level's run-end prefix equals the run's payload sum
+    # (aggregate values travel with their keys through the merge)
+    total = payload.sum()
+    top_prefix = levels.agg_prefix[-1]
+    assert np.isclose(top_prefix[-1], total)
+
+
+def test_choose_index_dtype():
+    assert choose_index_dtype(100) == np.dtype(np.int32)
+    assert choose_index_dtype(2 ** 31) == np.dtype(np.int64)
+
+
+def test_index_dtype_applied(rng):
+    small = build_levels_numpy(rng.integers(0, 50, size=100))
+    assert small.keys[0].dtype == np.int32

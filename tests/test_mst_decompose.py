@@ -1,0 +1,85 @@
+"""Run decomposition: coverage, alignment and size bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mst.decompose import (
+    decompose_range,
+    decompose_ranges,
+    max_runs_per_level,
+    num_levels,
+)
+
+
+def test_empty_range():
+    assert decompose_range(3, 3, 2, 10) == []
+    assert decompose_range(0, 0, 2, 0) == []
+
+
+def test_full_range_single_run_when_power():
+    runs = decompose_range(0, 8, 2, 8)
+    assert runs == [(3, 0, 8)]
+
+
+def test_out_of_bounds_rejected():
+    with pytest.raises(ValueError):
+        decompose_range(-1, 5, 2, 10)
+    with pytest.raises(ValueError):
+        decompose_range(0, 11, 2, 10)
+    with pytest.raises(ValueError):
+        decompose_range(5, 3, 2, 10)
+
+
+def test_fanout_must_be_at_least_two():
+    with pytest.raises(ValueError):
+        decompose_range(0, 4, 1, 8)
+
+
+def _check_decomposition(lo, hi, fanout, n):
+    runs = decompose_range(lo, hi, fanout, n)
+    covered = []
+    for level, start, stop in runs:
+        length = fanout ** level
+        assert stop - start == length, "whole runs only"
+        assert start % length == 0, "aligned runs only"
+        assert lo <= start and stop <= hi, "runs inside the query range"
+        assert stop <= n
+        covered.extend(range(start, stop))
+    assert covered == list(range(lo, hi)), "exact disjoint coverage"
+    per_level = {}
+    for level, _, _ in runs:
+        per_level[level] = per_level.get(level, 0) + 1
+    for level, count in per_level.items():
+        assert count <= max_runs_per_level(fanout)
+
+
+@pytest.mark.parametrize("fanout", [2, 3, 4, 7, 32])
+def test_decomposition_exhaustive_small(fanout):
+    n = 20
+    for lo in range(n + 1):
+        for hi in range(lo, n + 1):
+            _check_decomposition(lo, hi, fanout, n)
+
+
+@given(st.integers(2, 16), st.integers(0, 300), st.integers(0, 300),
+       st.integers(1, 300))
+@settings(max_examples=200, deadline=None)
+def test_decomposition_property(fanout, a, b, n):
+    lo, hi = sorted((a % (n + 1), b % (n + 1)))
+    _check_decomposition(lo, hi, fanout, n)
+
+
+def test_decompose_ranges_multiple():
+    runs = list(decompose_ranges([(0, 3), (5, 9)], 2, 10))
+    covered = sorted(p for _, s, e in runs for p in range(s, e))
+    assert covered == [0, 1, 2, 5, 6, 7, 8]
+
+
+@pytest.mark.parametrize("n,fanout,expected", [
+    (0, 2, 1), (1, 2, 1), (2, 2, 2), (3, 2, 3), (4, 2, 3),
+    (8, 2, 4), (9, 2, 5), (1000, 10, 4), (1, 32, 1), (33, 32, 3),
+])
+def test_num_levels(n, fanout, expected):
+    assert num_levels(n, fanout) == expected

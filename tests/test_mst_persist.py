@@ -1,0 +1,86 @@
+"""Spooling merge sort trees to disk."""
+
+import numpy as np
+import pytest
+
+from repro.mst import SUM, AVG, MergeSortTree
+from repro.mst.persist import load_tree, save_tree
+
+
+def test_roundtrip_count_queries(tmp_path, rng):
+    n = 300
+    keys = rng.integers(-1, n, size=n)
+    tree = MergeSortTree(keys, fanout=4, sample_every=8)
+    path = tmp_path / "tree.npz"
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    assert loaded.fanout == 4
+    assert loaded.sample_every == 8
+    assert loaded.cascading
+    for _ in range(50):
+        lo, hi = sorted(rng.integers(0, n + 1, size=2))
+        t = int(rng.integers(-2, n + 2))
+        assert loaded.count_below(lo, hi, t) == tree.count_below(lo, hi, t)
+
+
+def test_roundtrip_select(tmp_path, rng):
+    n = 120
+    perm = rng.permutation(n)
+    tree = MergeSortTree(perm, fanout=2)
+    path = tmp_path / "perm.npz"
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    for _ in range(30):
+        a, b = sorted(rng.integers(0, n + 1, size=2))
+        if a == b:
+            continue
+        k = int(rng.integers(0, b - a))
+        assert loaded.select(k, [(int(a), int(b))]) == \
+            tree.select(k, [(int(a), int(b))])
+
+
+def test_roundtrip_numpy_aggregate(tmp_path, rng):
+    n = 100
+    keys = rng.integers(0, n, size=n)
+    payload = rng.normal(size=n)
+    tree = MergeSortTree(keys, fanout=2, aggregate=SUM, payload=payload)
+    path = tmp_path / "agg.npz"
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    loaded.aggregate_spec = SUM
+    for lo, hi, t in [(0, n, n), (10, 60, 30), (5, 5, 1)]:
+        assert loaded.aggregate([(lo, hi)], t) == \
+            tree.aggregate([(lo, hi)], t)
+
+
+def test_generic_annotations_rejected(tmp_path, rng):
+    keys = rng.integers(0, 10, size=20)
+    tree = MergeSortTree(keys, aggregate=AVG,
+                         payload=[float(i) for i in range(20)])
+    with pytest.raises(ValueError):
+        save_tree(tree, tmp_path / "nope.npz")
+
+
+def test_no_cascading_roundtrip(tmp_path, rng):
+    keys = rng.integers(0, 40, size=64)
+    tree = MergeSortTree(keys, fanout=2, cascading=False)
+    path = tmp_path / "plain.npz"
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    assert not loaded.cascading
+    assert all(b is None for b in loaded.levels.bridges)
+    assert loaded.count_below(3, 50, 20) == tree.count_below(3, 50, 20)
+
+
+def test_version_check(tmp_path, rng):
+    tree = MergeSortTree(rng.integers(0, 5, size=10))
+    path = tmp_path / "v.npz"
+    save_tree(tree, path)
+    # corrupt the version header
+    with np.load(path) as bundle:
+        arrays = {k: bundle[k] for k in bundle.files}
+    arrays["__meta__"] = arrays["__meta__"].copy()
+    arrays["__meta__"][0] = 99
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(ValueError):
+        load_tree(path)

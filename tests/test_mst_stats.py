@@ -1,0 +1,59 @@
+"""Memory model (Section 5.1 formula, Section 6.6 numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.mst import MemoryModel, MergeSortTree, tree_memory_elements
+from repro.mst.stats import _levels_above_input, measured_vs_model
+
+
+def test_levels_above_input():
+    assert _levels_above_input(1, 2) == 0
+    assert _levels_above_input(2, 2) == 1
+    assert _levels_above_input(1_000_000, 32) == 4
+    assert _levels_above_input(100_000_000, 16) == 7
+    assert _levels_above_input(100_000_000, 32) == 6
+
+
+def test_paper_section_6_6_numbers():
+    """f=16,k=4 -> 12.4 GB; f=k=32 -> 4.4 GB at 100M, 32-bit."""
+    assert MemoryModel(100_000_000, 16, 4).gigabytes == pytest.approx(
+        12.4, abs=0.01)
+    assert MemoryModel(100_000_000, 32, 32).gigabytes == pytest.approx(
+        4.4, abs=0.01)
+
+
+def test_overhead_factor_matches_paper():
+    """Section 6.6: 4.4 GB over a 1.6 GB operator baseline -> 2.75x."""
+    model = MemoryModel(100_000_000, 32, 32)
+    assert model.bytes / 1.6e9 == pytest.approx(2.75, abs=0.01)
+
+
+def test_larger_fanout_reduces_elements():
+    small_f = tree_memory_elements(1_000_000, 2, 32)
+    large_f = tree_memory_elements(1_000_000, 32, 32)
+    assert large_f < small_f
+
+
+def test_larger_sampling_reduces_elements():
+    dense = tree_memory_elements(1_000_000, 16, 1)
+    sparse = tree_memory_elements(1_000_000, 16, 64)
+    assert sparse < dense
+
+
+def test_zero_and_one_elements():
+    assert tree_memory_elements(0, 2, 32) == 0
+    assert tree_memory_elements(1, 2, 32) == 0
+
+
+def test_measured_vs_model_bands(rng):
+    for fanout, k in [(2, 8), (16, 4), (32, 32)]:
+        keys = rng.integers(0, 3000, size=3000)
+        tree = MergeSortTree(keys, fanout=fanout, sample_every=k)
+        report = measured_vs_model(tree)
+        assert 0.3 < report["ratio"] < 2.5, (fanout, k, report)
+
+
+def test_str_rendering():
+    text = str(MemoryModel(1000, 32, 32))
+    assert "f=32" in text and "GB" in text

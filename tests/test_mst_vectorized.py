@@ -1,0 +1,168 @@
+"""Batched (numpy) queries must agree with the scalar tree everywhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mst import SUM, MergeSortTree
+from repro.mst.vectorized import (
+    batched_aggregate,
+    batched_count,
+    batched_lower_bound,
+    batched_select,
+)
+
+
+class TestBatchedLowerBound:
+    def test_matches_searchsorted_within_runs(self, rng):
+        arr = np.sort(rng.integers(0, 100, size=64))
+        m = 200
+        start = rng.integers(0, 64, size=m)
+        stop = np.minimum(start + rng.integers(0, 64, size=m), 64)
+        target = rng.integers(-5, 105, size=m)
+        got = batched_lower_bound(arr, start, stop, target)
+        for i in range(m):
+            want = start[i] + np.searchsorted(arr[start[i]:stop[i]],
+                                              target[i], side="left")
+            assert got[i] == want
+
+    def test_empty_queries(self):
+        arr = np.arange(10)
+        out = batched_lower_bound(arr, np.array([3]), np.array([3]),
+                                  np.array([5]))
+        assert out[0] == 3
+
+    def test_no_queries(self):
+        arr = np.arange(10)
+        empty = np.array([], dtype=np.int64)
+        assert len(batched_lower_bound(arr, empty, empty, empty)) == 0
+
+
+class TestBatchedCount:
+    @pytest.mark.parametrize("fanout", [2, 3, 8])
+    def test_agrees_with_scalar(self, fanout, rng):
+        n = 200
+        keys = rng.integers(-1, n, size=n)
+        tree = MergeSortTree(keys, fanout=fanout)
+        m = 150
+        lo = rng.integers(0, n + 1, size=m)
+        hi = np.minimum(lo + rng.integers(0, n, size=m), n)
+        thr = rng.integers(-3, n + 3, size=m)
+        got = batched_count(tree.levels, lo, hi, thr)
+        for i in range(m):
+            assert got[i] == tree.count_below(int(lo[i]), int(hi[i]),
+                                              int(thr[i]))
+
+    def test_with_key_lower_bound(self, rng):
+        n = 120
+        keys = rng.integers(0, 40, size=n)
+        tree = MergeSortTree(keys, fanout=2)
+        m = 80
+        lo = rng.integers(0, n, size=m)
+        hi = np.minimum(lo + rng.integers(0, n, size=m), n)
+        klo = rng.integers(0, 20, size=m)
+        khi = klo + rng.integers(0, 25, size=m)
+        got = batched_count(tree.levels, lo, hi, khi, key_lo=klo)
+        for i in range(m):
+            want = tree.count([(int(lo[i]), int(hi[i]))],
+                              [(int(klo[i]), int(khi[i]))])
+            assert got[i] == want
+
+
+class TestBatchedSelect:
+    @pytest.mark.parametrize("fanout", [2, 4])
+    def test_agrees_with_scalar(self, fanout, rng):
+        n = 150
+        perm = rng.permutation(n)
+        tree = MergeSortTree(perm, fanout=fanout)
+        m = 120
+        a = rng.integers(0, n, size=m)
+        b = np.minimum(a + 1 + rng.integers(0, 60, size=m), n)
+        k = np.array([rng.integers(0, bb - aa) for aa, bb in zip(a, b)])
+        slabs, keys = batched_select(tree.levels, k, a, b)
+        for i in range(m):
+            want = tree.select(int(k[i]), [(int(a[i]), int(b[i]))])
+            assert (int(slabs[i]), int(keys[i])) == want
+
+    def test_single_row_tree(self):
+        tree = MergeSortTree(np.array([0]))
+        slabs, keys = batched_select(tree.levels, np.array([0]),
+                                     np.array([0]), np.array([1]))
+        assert slabs[0] == 0 and keys[0] == 0
+
+
+class TestBatchedAggregate:
+    @pytest.mark.parametrize("kind,reducer", [
+        ("sum", sum), ("min", min), ("max", max),
+    ])
+    def test_agrees_with_oracle(self, kind, reducer, rng):
+        n = 130
+        keys = rng.integers(-1, n, size=n)
+        payload = rng.integers(0, 50, size=n).astype(np.float64)
+        tree = MergeSortTree(keys, fanout=2, aggregate=SUM, payload=payload)
+        m = 100
+        lo = rng.integers(0, n, size=m)
+        hi = np.minimum(lo + rng.integers(0, n, size=m), n)
+        thr = rng.integers(-1, n + 1, size=m)
+        if kind in ("min", "max"):
+            # min/max need their own prefix kernels
+            from repro.mst import MAX, MIN
+            spec = MIN if kind == "min" else MAX
+            tree = MergeSortTree(keys, fanout=2, aggregate=spec,
+                                 payload=payload)
+        got = batched_aggregate(tree.levels, lo, hi, thr, kind)
+        for i in range(m):
+            expected = [payload[j] for j in range(lo[i], hi[i])
+                        if keys[j] < thr[i]]
+            if expected:
+                assert got[i] == pytest.approx(reducer(expected))
+            else:
+                identity = {"sum": 0.0, "min": np.inf,
+                            "max": -np.inf}[kind]
+                assert got[i] == identity
+
+    def test_count_kind(self, rng):
+        n = 60
+        keys = rng.integers(0, 20, size=n)
+        from repro.mst import COUNT
+        payload = np.ones(n)
+        tree = MergeSortTree(keys, fanout=2, aggregate=COUNT,
+                             payload=payload)
+        got = batched_aggregate(tree.levels, np.array([0]), np.array([n]),
+                                np.array([10]), "count")
+        assert got[0] == int(np.sum(keys < 10))
+
+    def test_unknown_kind_rejected(self, rng):
+        keys = rng.integers(0, 5, size=10)
+        tree = MergeSortTree(keys, aggregate=SUM,
+                             payload=np.ones(10))
+        with pytest.raises(ValueError):
+            batched_aggregate(tree.levels, np.array([0]), np.array([10]),
+                              np.array([3]), "median")
+
+    def test_missing_annotation_rejected(self, rng):
+        tree = MergeSortTree(rng.integers(0, 5, size=10))
+        with pytest.raises(ValueError):
+            batched_aggregate(tree.levels, np.array([0]), np.array([10]),
+                              np.array([3]), "sum")
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    n=st.integers(1, 200),
+    fanout=st.sampled_from([2, 3, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_count_hypothesis(seed, n, fanout):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(-1, n, size=n)
+    tree = MergeSortTree(keys, fanout=fanout)
+    m = 20
+    lo = rng.integers(0, n + 1, size=m)
+    hi = np.minimum(lo + rng.integers(0, n, size=m), n)
+    thr = rng.integers(-2, n + 2, size=m)
+    got = batched_count(tree.levels, lo, hi, thr)
+    want = np.array([int(np.sum(keys[l:h] < t))
+                     for l, h, t in zip(lo, hi, thr)])
+    assert np.array_equal(got, want)

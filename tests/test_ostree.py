@@ -1,0 +1,139 @@
+"""Counted B-tree (order statistic tree) correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ostree import CountedBTree, windowed_kth_ostree, \
+    windowed_percentile_ostree, windowed_rank_ostree
+
+
+class TestCountedBTree:
+    def test_insert_iterate_sorted(self, rng):
+        tree = CountedBTree(order=4)
+        values = rng.integers(0, 100, size=200).tolist()
+        for v in values:
+            tree.insert(v)
+        assert list(tree) == sorted(values)
+        assert len(tree) == 200
+        tree.check_invariants()
+
+    def test_kth_and_rank(self, rng):
+        tree = CountedBTree(order=6)
+        values = sorted(rng.integers(0, 50, size=100).tolist())
+        for v in values:
+            tree.insert(v)
+        for k in range(100):
+            assert tree.kth(k) == values[k]
+        for probe in range(-1, 52):
+            expected = sum(1 for v in values if v < probe)
+            assert tree.rank(probe) == expected
+
+    def test_kth_out_of_range(self):
+        tree = CountedBTree()
+        tree.insert(1)
+        with pytest.raises(IndexError):
+            tree.kth(1)
+        with pytest.raises(IndexError):
+            tree.kth(-1)
+
+    def test_delete_missing_raises(self):
+        tree = CountedBTree()
+        tree.insert(5)
+        with pytest.raises(KeyError):
+            tree.delete(7)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            CountedBTree(order=2)
+
+    def test_insert_delete_random_unique(self, rng):
+        """Unique (value, id) keys: the windowed wrappers' usage."""
+        tree = CountedBTree(order=4)
+        alive = []
+        for step in range(600):
+            if alive and rng.random() < 0.45:
+                victim = alive.pop(int(rng.integers(0, len(alive))))
+                tree.delete(victim)
+            else:
+                key = (int(rng.integers(0, 20)), step)
+                tree.insert(key)
+                alive.append(key)
+            assert len(tree) == len(alive)
+        tree.check_invariants()
+        assert list(tree) == sorted(alive)
+
+    @given(st.lists(st.integers(0, 8), max_size=120),
+           st.integers(4, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_multiset_semantics_hypothesis(self, values, order):
+        tree = CountedBTree(order=order)
+        for i, v in enumerate(values):
+            tree.insert((v, i))
+        expected = sorted((v, i) for i, v in enumerate(values))
+        assert list(tree) == expected
+        for k in range(len(values)):
+            assert tree.kth(k) == expected[k]
+        tree.check_invariants()
+
+
+class TestWindowed:
+    def test_windowed_percentile_matches_sorted_oracle(self, rng):
+        n = 120
+        values = rng.integers(0, 40, size=n).tolist()
+        start = np.maximum(np.arange(n) - 15, 0)
+        end = np.arange(n) + 1
+        got = windowed_percentile_ostree(values, start, end, 0.5)
+        for i in range(n):
+            frame = sorted(values[start[i]:end[i]])
+            k = max(int(np.ceil(0.5 * len(frame))) - 1, 0)
+            assert got[i] == frame[k]
+
+    def test_windowed_kth_out_of_range_gives_none(self):
+        values = [5, 6, 7]
+        start = np.array([0, 0, 0])
+        end = np.array([1, 2, 3])
+        got = windowed_kth_ostree(values, start, end, [5, 1, 2])
+        assert got == [None, 6, 7]
+
+    def test_windowed_rank(self, rng):
+        n = 80
+        values = rng.integers(0, 30, size=n).tolist()
+        start = np.maximum(np.arange(n) - 9, 0)
+        end = np.arange(n) + 1
+        got = windowed_rank_ostree(values, start, end)
+        for i in range(n):
+            frame = values[start[i]:end[i]]
+            expected = sum(1 for v in frame if v < values[i]) + 1
+            assert got[i] == expected
+
+    def test_non_monotonic_frames(self, rng):
+        n = 60
+        values = rng.integers(0, 20, size=n).tolist()
+        start = rng.integers(0, n, size=n)
+        end = np.minimum(start + rng.integers(0, 20, size=n), n)
+        ks = [max((e - s) // 2, 0) for s, e in zip(start, end)]
+        got = windowed_kth_ostree(values, start, end, ks)
+        for i in range(n):
+            frame = sorted(values[start[i]:end[i]])
+            if not frame:
+                assert got[i] is None
+            else:
+                assert got[i] == frame[ks[i]]
+
+    def test_work_counter_grows_with_non_monotonicity(self, rng):
+        """The Section 3.2 effect in microcosm: less frame overlap means
+        strictly more maintenance work."""
+        from repro.ostree.windowed import _SlidingTree
+        n = 200
+        values = rng.integers(0, 50, size=n).tolist()
+        smooth = _SlidingTree(values)
+        for i in range(n):
+            smooth.move_to(max(i - 20, 0), i + 1)
+        jumpy = _SlidingTree(values)
+        jitter = rng.integers(0, 50, size=n)
+        for i in range(n):
+            lo = max(i - 20 - int(jitter[i]), 0)
+            jumpy.move_to(lo, min(lo + 21, n))
+        assert jumpy.work > smooth.work

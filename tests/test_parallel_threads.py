@@ -1,0 +1,59 @@
+"""Thread-pool probe execution must be bit-identical to serial."""
+
+import numpy as np
+import pytest
+
+from repro.mst.tree import MergeSortTree
+from repro.mst.vectorized import batched_count, batched_select
+from repro.parallel.threads import (
+    task_slices,
+    threaded_batched_count,
+    threaded_batched_select,
+    threaded_map,
+)
+
+
+def test_task_slices():
+    assert task_slices(10, 4) == [(0, 4), (4, 8), (8, 10)]
+    assert task_slices(0, 4) == []
+    assert task_slices(4, 4) == [(0, 4)]
+
+
+def test_threaded_map_orders_results():
+    out = threaded_map(lambda lo, hi: np.arange(lo, hi), 23, workers=4,
+                       task_size=5)
+    assert np.array_equal(out, np.arange(23))
+
+
+def test_threaded_map_empty():
+    out = threaded_map(lambda lo, hi: np.arange(lo, hi), 0, workers=4)
+    assert len(out) == 0
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_threaded_count_matches_serial(workers, rng):
+    n = 5_000
+    keys = rng.integers(-1, n, size=n)
+    tree = MergeSortTree(keys, fanout=2)
+    lo = rng.integers(0, n, size=n)
+    hi = np.minimum(lo + rng.integers(0, n, size=n), n)
+    thr = rng.integers(-1, n, size=n)
+    serial = batched_count(tree.levels, lo, hi, thr)
+    threaded = threaded_batched_count(tree.levels, lo, hi, thr,
+                                      workers=workers, task_size=512)
+    assert np.array_equal(serial, threaded)
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_threaded_select_matches_serial(workers, rng):
+    n = 3_000
+    perm = rng.permutation(n)
+    tree = MergeSortTree(perm, fanout=2)
+    a = rng.integers(0, n, size=n)
+    b = np.minimum(a + 1 + rng.integers(0, 200, size=n), n)
+    k = np.array([rng.integers(0, bb - aa) for aa, bb in zip(a, b)])
+    s_serial, k_serial = batched_select(tree.levels, k, a, b)
+    s_thr, k_thr = threaded_batched_select(tree.levels, k, a, b,
+                                           workers=workers, task_size=700)
+    assert np.array_equal(s_serial, s_thr)
+    assert np.array_equal(k_serial, k_thr)

@@ -1,0 +1,100 @@
+"""Range tree for framed DENSE_RANK (Section 4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rangetree import DenseRankIndex
+
+
+def _oracle_distinct_below(keys, lo, hi, threshold):
+    return len({k for k in keys[lo:hi] if k < threshold})
+
+
+class TestDenseRankIndex:
+    @pytest.mark.parametrize("fanout", [2, 4])
+    def test_distinct_below_random(self, fanout, rng):
+        n = 90
+        keys = rng.integers(0, 12, size=n)
+        index = DenseRankIndex(keys, fanout=fanout)
+        for _ in range(120):
+            lo, hi = sorted(rng.integers(0, n + 1, size=2))
+            t = int(rng.integers(0, 13))
+            assert index.distinct_below(int(lo), int(hi), t) == \
+                _oracle_distinct_below(keys, lo, hi, t)
+
+    def test_dense_rank(self, rng):
+        n = 60
+        keys = rng.integers(0, 8, size=n)
+        index = DenseRankIndex(keys)
+        for i in range(n):
+            lo = max(i - 14, 0)
+            hi = i + 1
+            expected = _oracle_distinct_below(keys, lo, hi, keys[i]) + 1
+            assert index.dense_rank(lo, hi, int(keys[i])) == expected
+
+    def test_all_distinct_keys(self):
+        keys = np.arange(20)
+        index = DenseRankIndex(keys)
+        assert index.distinct_below(0, 20, 10) == 10
+        assert index.distinct_below(5, 15, 10) == 5
+
+    def test_all_equal_keys(self):
+        keys = np.zeros(16, dtype=np.int64)
+        index = DenseRankIndex(keys)
+        assert index.distinct_below(0, 16, 0) == 0
+        assert index.distinct_below(0, 16, 1) == 1
+
+    def test_empty_and_tiny(self):
+        index = DenseRankIndex(np.array([], dtype=np.int64))
+        assert index.distinct_below(0, 0, 5) == 0
+        single = DenseRankIndex(np.array([3]))
+        assert single.dense_rank(0, 1, 3) == 1
+        assert single.dense_rank(0, 1, 4) == 2
+
+    def test_memory_bytes_positive(self, rng):
+        index = DenseRankIndex(rng.integers(0, 5, size=50))
+        assert index.memory_bytes() > 0
+
+    @given(st.lists(st.integers(0, 5), min_size=0, max_size=64),
+           st.integers(0, 64), st.integers(0, 64), st.integers(0, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_hypothesis(self, keys, a, b, t):
+        n = len(keys)
+        lo, hi = sorted((a % (n + 1), b % (n + 1)))
+        index = DenseRankIndex(np.asarray(keys, dtype=np.int64))
+        assert index.distinct_below(lo, hi, t) == \
+            _oracle_distinct_below(keys, lo, hi, t)
+
+
+class TestBatchedDenseRank:
+    def test_matches_scalar(self, rng):
+        n = 300
+        keys = rng.integers(0, 15, size=n)
+        index = DenseRankIndex(keys)
+        lo = rng.integers(0, n, size=n)
+        hi = np.minimum(lo + rng.integers(1, 60, size=n), n)
+        got = index.batched_dense_rank(lo, hi, keys)
+        for i in range(n):
+            assert got[i] == index.dense_rank(int(lo[i]), int(hi[i]),
+                                              int(keys[i]))
+
+    def test_single_row(self):
+        index = DenseRankIndex(np.array([5]))
+        got = index.batched_dense_rank(np.array([0]), np.array([1]),
+                                       np.array([5]))
+        assert got.tolist() == [1]
+
+    @pytest.mark.parametrize("fanout", [2, 4])
+    def test_fanouts(self, fanout, rng):
+        n = 120
+        keys = rng.integers(0, 8, size=n)
+        index = DenseRankIndex(keys, fanout=fanout)
+        lo = np.maximum(np.arange(n) - 13, 0)
+        hi = np.arange(n) + 1
+        got = index.batched_dense_rank(lo, hi, keys)
+        for i in range(0, n, 7):
+            want = len({k for k in keys[lo[i]:hi[i]]
+                        if k < keys[i]}) + 1
+            assert got[i] == want

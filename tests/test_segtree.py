@@ -1,0 +1,109 @@
+"""Segment trees: distributive queries and the holistic percentile
+variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.segtree import HolisticSegmentTree, SegmentTree
+
+
+class TestSegmentTree:
+    @pytest.mark.parametrize("kind,reducer,identity", [
+        ("sum", sum, 0.0),
+        ("min", min, np.inf),
+        ("max", max, -np.inf),
+    ])
+    def test_scalar_queries(self, kind, reducer, identity, rng):
+        values = rng.integers(0, 100, size=77).astype(np.float64)
+        tree = SegmentTree(values, kind=kind)
+        for _ in range(100):
+            lo, hi = sorted(rng.integers(0, 78, size=2))
+            got = tree.query(int(lo), int(hi))
+            if lo == hi:
+                assert got == identity
+            else:
+                assert got == pytest.approx(reducer(values[lo:hi]))
+
+    def test_batched_matches_scalar(self, rng):
+        values = rng.normal(size=90)
+        tree = SegmentTree(values, kind="sum")
+        lo = rng.integers(0, 91, size=60)
+        hi = np.minimum(lo + rng.integers(0, 90, size=60), 90)
+        got = tree.batched_query(lo, hi)
+        for i in range(60):
+            assert got[i] == pytest.approx(tree.query(int(lo[i]),
+                                                      int(hi[i])))
+
+    def test_generic_merge(self):
+        tree = SegmentTree(["a", "b", "c", "d"],
+                           merge=lambda x, y: x + y, identity="")
+        assert tree.query(1, 3) == "bc"
+        assert tree.query(0, 4) == "abcd"
+        assert tree.query(2, 2) == ""
+
+    def test_generic_has_no_batched(self):
+        tree = SegmentTree([1], merge=lambda a, b: a + b, identity=0)
+        with pytest.raises(ValueError):
+            tree.batched_query(np.array([0]), np.array([1]))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SegmentTree([1, 2])  # neither kind nor merge
+        with pytest.raises(ValueError):
+            SegmentTree([1, 2], kind="sum", merge=lambda a, b: a)
+        with pytest.raises(ValueError):
+            SegmentTree([1, 2], kind="median")
+
+    def test_clamping(self):
+        tree = SegmentTree(np.arange(5, dtype=np.float64), kind="sum")
+        assert tree.query(-3, 99) == pytest.approx(10.0)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=100),
+           st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_sum_hypothesis(self, values, a, b):
+        n = len(values)
+        lo, hi = sorted((a % (n + 1), b % (n + 1)))
+        tree = SegmentTree(np.asarray(values, dtype=np.float64),
+                           kind="sum")
+        assert tree.query(lo, hi) == pytest.approx(float(sum(values[lo:hi])))
+
+
+class TestHolisticSegmentTree:
+    def test_kth_smallest(self, rng):
+        values = rng.integers(0, 50, size=70).astype(np.float64)
+        tree = HolisticSegmentTree(values)
+        for _ in range(80):
+            lo, hi = sorted(rng.integers(0, 71, size=2))
+            if lo == hi:
+                continue
+            k = int(rng.integers(0, hi - lo))
+            expected = sorted(values[lo:hi])[k]
+            assert tree.kth_smallest(int(lo), int(hi), k) == expected
+
+    def test_percentile_disc(self, rng):
+        values = rng.normal(size=64)
+        tree = HolisticSegmentTree(values)
+        for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+            frame = sorted(values[10:50])
+            k = max(int(np.ceil(fraction * len(frame))) - 1, 0)
+            assert tree.percentile_disc(10, 50, fraction) == \
+                pytest.approx(frame[k])
+
+    def test_errors(self):
+        tree = HolisticSegmentTree(np.arange(8, dtype=np.float64))
+        with pytest.raises(IndexError):
+            tree.kth_smallest(2, 5, 3)
+        with pytest.raises(IndexError):
+            tree.percentile_disc(4, 4, 0.5)
+
+    def test_duplicates(self):
+        tree = HolisticSegmentTree(np.array([5.0, 5.0, 5.0, 1.0]))
+        assert tree.kth_smallest(0, 4, 0) == 1.0
+        assert tree.kth_smallest(0, 4, 3) == 5.0
+
+    def test_memory_accounting(self):
+        tree = HolisticSegmentTree(np.arange(100, dtype=np.float64))
+        assert tree.memory_bytes() >= 100 * 8

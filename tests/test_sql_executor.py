@@ -1,0 +1,257 @@
+"""End-to-end SQL execution."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlAnalysisError
+from repro.sql import Catalog, execute
+from repro.table import DataType, Table
+
+
+@pytest.fixture
+def catalog():
+    people = Table.from_dict({
+        "id": (DataType.INT64, [1, 2, 3, 4, 5]),
+        "name": (DataType.STRING, ["ann", "bob", "cat", "dan", "eve"]),
+        "dept": (DataType.STRING, ["eng", "eng", "ops", "ops", "eng"]),
+        "salary": (DataType.INT64, [120, 90, 80, None, 150]),
+        "hired": (DataType.DATE, [datetime.date(2020, 1, i * 3 + 1)
+                                  for i in range(5)]),
+    })
+    sales = Table.from_dict({
+        "person_id": (DataType.INT64, [1, 1, 2, 3, 3, 3]),
+        "amount": (DataType.FLOAT64, [10.0, 20.0, 5.0, 7.0, 8.0, 9.0]),
+    })
+    return Catalog({"people": people, "sales": sales})
+
+
+class TestProjection:
+    def test_select_columns(self, catalog):
+        out = execute("select name, salary from people", catalog)
+        assert out.schema.names() == ["name", "salary"]
+        assert out.num_rows == 5
+
+    def test_expressions_and_aliases(self, catalog):
+        out = execute("select salary * 2 as double_pay from people "
+                      "where id = 1", catalog)
+        assert out.column("double_pay").to_list() == [240]
+
+    def test_star(self, catalog):
+        out = execute("select * from people", catalog)
+        assert out.num_columns == 5
+
+    def test_select_without_from(self, catalog):
+        out = execute("select 1 + 1 as two, 'x' as s", catalog)
+        assert out.row(0) == (2, "x")
+
+    def test_case_expression(self, catalog):
+        out = execute("""
+            select name, case when salary >= 120 then 'high'
+                              when salary >= 90 then 'mid'
+                              else 'low' end as band
+            from people order by id
+        """, catalog)
+        assert out.column("band").to_list() == \
+            ["high", "mid", "low", "low", "high"]
+
+    def test_scalar_functions(self, catalog):
+        out = execute("select abs(-3) a, mod(7, 3) m, round(2.46, 1) r, "
+                      "coalesce(null, 5) c, upper('ab') u, year(hired) y "
+                      "from people limit 1", catalog)
+        assert out.row(0) == (3, 1, 2.5, 5, "AB", 2020)
+
+
+class TestFilterOrderLimit:
+    def test_where(self, catalog):
+        out = execute("select name from people where dept = 'eng' "
+                      "and salary > 100", catalog)
+        assert sorted(out.column("name").to_list()) == ["ann", "eve"]
+
+    def test_null_comparison_filters_out(self, catalog):
+        out = execute("select name from people where salary > 0", catalog)
+        assert "dan" not in out.column("name").to_list()
+
+    def test_is_null(self, catalog):
+        out = execute("select name from people where salary is null",
+                      catalog)
+        assert out.column("name").to_list() == ["dan"]
+
+    def test_order_by_and_limit(self, catalog):
+        out = execute("select name from people order by salary desc "
+                      "nulls last limit 2", catalog)
+        assert out.column("name").to_list() == ["eve", "ann"]
+
+    def test_order_by_position(self, catalog):
+        out = execute("select name, salary from people order by 2 "
+                      "nulls first limit 1", catalog)
+        assert out.row(0) == ("dan", None)
+
+    def test_order_by_alias(self, catalog):
+        out = execute("select salary * -1 as neg from people "
+                      "where salary is not null order by neg limit 1",
+                      catalog)
+        assert out.row(0) == (-150,)
+
+    def test_distinct(self, catalog):
+        out = execute("select distinct dept from people order by dept",
+                      catalog)
+        assert out.column("dept").to_list() == ["eng", "ops"]
+
+    def test_between_and_in(self, catalog):
+        out = execute("select name from people where salary between 80 "
+                      "and 120 and dept in ('eng', 'ops') order by id",
+                      catalog)
+        assert out.column("name").to_list() == ["ann", "bob", "cat"]
+
+
+class TestAggregation:
+    def test_group_by(self, catalog):
+        out = execute("""
+            select dept, count(*) n, count(salary) with_salary,
+                   sum(salary) total, avg(salary) mean,
+                   min(salary) lo, max(salary) hi
+            from people group by dept order by dept
+        """, catalog)
+        assert out.to_rows() == [
+            ("eng", 3, 3, 360, 120.0, 90, 150),
+            ("ops", 2, 1, 80, 80.0, 80, 80),
+        ]
+
+    def test_global_aggregate(self, catalog):
+        out = execute("select count(*), sum(salary) from people", catalog)
+        assert out.row(0) == (5, 440)
+
+    def test_global_aggregate_on_empty_input(self, catalog):
+        out = execute("select count(*) c, sum(salary) s from people "
+                      "where id > 99", catalog)
+        assert out.row(0) == (0, None)
+
+    def test_count_distinct(self, catalog):
+        out = execute("select count(distinct dept) from people", catalog)
+        assert out.row(0) == (2,)
+
+    def test_having(self, catalog):
+        out = execute("select dept from people group by dept "
+                      "having count(*) > 2", catalog)
+        assert out.column("dept").to_list() == ["eng"]
+
+    def test_percentile_within_group(self, catalog):
+        out = execute("""
+            select percentile_disc(0.5) within group (order by amount) med,
+                   percentile_cont(0.5) within group (order by amount) cont
+            from sales
+        """, catalog)
+        assert out.row(0) == (8.0, 8.5)
+
+    def test_aggregate_filter_clause(self, catalog):
+        out = execute("select count(*) filter (where dept = 'eng') e "
+                      "from people", catalog)
+        assert out.row(0) == (3,)
+
+    def test_expression_over_aggregate(self, catalog):
+        out = execute("select sum(salary) / count(salary) as mean "
+                      "from people", catalog)
+        assert out.row(0) == (110.0,)
+
+
+class TestJoins:
+    def test_inner_join(self, catalog):
+        out = execute("""
+            select name, amount from people p join sales s
+              on p.id = s.person_id
+            order by amount
+        """, catalog)
+        assert out.num_rows == 6
+        assert out.row(0) == ("bob", 5.0)
+
+    def test_left_join_nulls(self, catalog):
+        out = execute("""
+            select name, amount from people p left join sales s
+              on p.id = s.person_id
+            where amount is null order by name
+        """, catalog)
+        assert out.column("name").to_list() == ["dan", "eve"]
+
+    def test_cross_join(self, catalog):
+        out = execute("select count(*) from people, sales", catalog)
+        assert out.row(0) == (30,)
+
+    def test_join_group_by(self, catalog):
+        out = execute("""
+            select name, sum(amount) total from people p
+            join sales s on p.id = s.person_id
+            group by name order by total desc
+        """, catalog)
+        assert out.row(0) == ("ann", 30.0)
+
+    def test_ambiguous_column_rejected(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select id from people p join people q on 1 = 1",
+                    catalog)
+
+
+class TestSubqueries:
+    def test_uncorrelated_scalar(self, catalog):
+        out = execute("select name, (select max(salary) from people) top "
+                      "from people order by id limit 1", catalog)
+        assert out.row(0) == ("ann", 150)
+
+    def test_correlated_scalar(self, catalog):
+        out = execute("""
+            select name,
+                   (select sum(amount) from sales s
+                    where s.person_id = p.id) total
+            from people p order by id
+        """, catalog)
+        assert out.column("total").to_list() == [30.0, 5.0, 24.0, None,
+                                                 None]
+
+    def test_exists(self, catalog):
+        out = execute("""
+            select name from people p
+            where exists (select 1 from sales s where s.person_id = p.id)
+            order by id
+        """, catalog)
+        assert out.column("name").to_list() == ["ann", "bob", "cat"]
+
+    def test_scalar_subquery_cardinality_checked(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select (select id from people)", catalog)
+
+    def test_derived_table(self, catalog):
+        out = execute("""
+            select dept, n from (
+              select dept, count(*) as n from people group by dept) sub
+            where n > 2
+        """, catalog)
+        assert out.row(0) == ("eng", 3)
+
+    def test_cte(self, catalog):
+        out = execute("""
+            with rich as (select * from people where salary > 100)
+            select count(*) from rich
+        """, catalog)
+        assert out.row(0) == (2,)
+
+
+class TestErrors:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select * from nope", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select nope from people", catalog)
+
+    def test_unknown_function(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select frobnicate(id) from people", catalog)
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select id from people where count(*) > 1", catalog)
+
+    def test_order_by_position_out_of_range(self, catalog):
+        with pytest.raises(SqlAnalysisError):
+            execute("select id from people order by 7", catalog)

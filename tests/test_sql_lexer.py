@@ -1,0 +1,77 @@
+"""SQL tokenizer."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import parse_date, parse_interval, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_and_idents(self):
+        got = kinds("SELECT foo FROM Bar")
+        assert got == [("keyword", "select"), ("ident", "foo"),
+                       ("keyword", "from"), ("ident", "bar")]
+
+    def test_numbers(self):
+        got = kinds("1 2.5 .5 1e3 2.5E-2")
+        assert got == [("number", 1), ("number", 2.5), ("number", 0.5),
+                       ("number", 1000.0), ("number", 0.025)]
+
+    def test_strings_with_escapes(self):
+        got = kinds("'it''s'")
+        assert got == [("string", "it's")]
+
+    def test_quoted_identifiers(self):
+        assert kinds('"Weird Name"') == [("ident", "weird name")]
+
+    def test_symbols(self):
+        got = [v for _, v in kinds("a <> b != c >= d || e :: f")]
+        assert "<>" in got and "!=" in got and ">=" in got and "||" in got
+
+    def test_comments(self):
+        got = kinds("select -- line comment\n 1 /* block */ + 2")
+        assert got == [("keyword", "select"), ("number", 1),
+                       ("symbol", "+"), ("number", 2)]
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].kind == "end"
+
+    def test_errors(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'unterminated")
+        with pytest.raises(SqlSyntaxError):
+            tokenize("/* unterminated")
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestLiterals:
+    def test_interval_units(self):
+        assert parse_interval("1 day") == 1
+        assert parse_interval("2 weeks") == 14
+        assert parse_interval("1 month") == 30
+        assert parse_interval("3 years") == 3 * 365
+
+    def test_interval_errors(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_interval("soon")
+        with pytest.raises(SqlSyntaxError):
+            parse_interval("one month")
+        with pytest.raises(SqlSyntaxError):
+            parse_interval("1 fortnight")
+
+    def test_date(self):
+        assert parse_date("2022-06-12") == datetime.date(2022, 6, 12)
+        with pytest.raises(SqlSyntaxError):
+            parse_date("12/06/2022")

@@ -1,0 +1,89 @@
+"""TPC-H-style generator: determinism, schemas, distributions."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.table import DataType
+from repro.tpch import (
+    TPCH_END_DATE,
+    TPCH_START_DATE,
+    lineitem,
+    lineitem_arrays,
+    orders,
+    tpcc_results,
+)
+
+
+class TestLineitem:
+    def test_deterministic(self):
+        a = lineitem(500, seed=1)
+        b = lineitem(500, seed=1)
+        assert a.to_rows() == b.to_rows()
+        c = lineitem(500, seed=2)
+        assert a.to_rows() != c.to_rows()
+
+    def test_schema(self):
+        table = lineitem(10)
+        assert table.schema.field("l_partkey").dtype is DataType.INT64
+        assert table.schema.field("l_extendedprice").dtype \
+            is DataType.FLOAT64
+        assert table.schema.field("l_shipdate").dtype is DataType.DATE
+        assert table.num_rows == 10
+
+    def test_date_ordering_invariants(self):
+        arrays = lineitem_arrays(2_000)
+        # shipdate after orderdate, receipt after ship (TPC-H spec)
+        assert (arrays["l_shipdate"] > 0).all()
+        assert (arrays["l_receiptdate"] > arrays["l_shipdate"]).all()
+        assert (arrays["l_receiptdate"] - arrays["l_shipdate"] <= 30).all()
+
+    def test_dates_within_tpch_range(self):
+        table = lineitem(300)
+        for value in table.column("l_shipdate"):
+            assert TPCH_START_DATE <= value <= TPCH_END_DATE + \
+                datetime.timedelta(days=30)
+
+    def test_price_formula(self):
+        arrays = lineitem_arrays(1_000)
+        ratio = arrays["l_extendedprice"] / arrays["l_quantity"]
+        # retail price per unit is within the TPC-H formula's range
+        assert ratio.min() >= 900.0 - 1
+        assert ratio.max() <= 2100.0 + 1
+
+    def test_partkey_duplication(self):
+        """Distinct-count workloads rely on realistic duplicate factors."""
+        arrays = lineitem_arrays(10_000)
+        distinct = len(np.unique(arrays["l_partkey"]))
+        assert distinct < 10_000
+        assert distinct > 100
+
+
+class TestOrders:
+    def test_schema_and_key_uniqueness(self):
+        table = orders(200)
+        keys = table.column("o_orderkey").to_list()
+        assert len(set(keys)) == 200
+        assert table.schema.field("o_orderdate").dtype is DataType.DATE
+
+    def test_custkey_repeats(self):
+        table = orders(5_000)
+        custs = table.column("o_custkey").to_list()
+        assert len(set(custs)) < 5_000  # repeated customers => MAU > 1
+
+
+class TestTpccResults:
+    def test_shape(self):
+        table = tpcc_results(50)
+        assert table.num_rows == 50
+        assert table.schema.names() == ["dbsystem", "tps",
+                                        "submission_date"]
+
+    def test_dates_sorted_and_tps_grows(self):
+        table = tpcc_results(200)
+        dates = table.column("submission_date").to_list()
+        assert dates == sorted(dates)
+        tps = np.asarray(table.column("tps").raw())
+        # exponential growth: the last decade should dominate the first
+        assert tps[-50:].mean() > tps[:50].mean() * 10

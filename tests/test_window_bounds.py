@@ -1,0 +1,213 @@
+"""Frame bound resolution against a brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError
+from repro.window.bounds import (
+    PeerGroups,
+    exclusion_ranges,
+    frame_sizes,
+    resolve_bounds,
+    row_ranges,
+)
+from repro.window.frame import (
+    FrameExclusion,
+    FrameSpec,
+    current_row,
+    following,
+    preceding,
+    unbounded_following,
+    unbounded_preceding,
+)
+
+
+class TestRowsMode:
+    def test_sliding(self):
+        frame = FrameSpec.rows(preceding(2), current_row())
+        start, end = resolve_bounds(frame, 5)
+        assert start.tolist() == [0, 0, 0, 1, 2]
+        assert end.tolist() == [1, 2, 3, 4, 5]
+
+    def test_unbounded(self):
+        frame = FrameSpec.rows(unbounded_preceding(), unbounded_following())
+        start, end = resolve_bounds(frame, 4)
+        assert start.tolist() == [0, 0, 0, 0]
+        assert end.tolist() == [4, 4, 4, 4]
+
+    def test_forward_only(self):
+        frame = FrameSpec.rows(following(1), following(2))
+        start, end = resolve_bounds(frame, 5)
+        assert start.tolist() == [1, 2, 3, 4, 5]
+        assert end.tolist() == [3, 4, 5, 5, 5]
+
+    def test_empty_when_crossed(self):
+        frame = FrameSpec.rows(following(3), preceding(3))
+        start, end = resolve_bounds(frame, 4)
+        assert (start == end).all()
+
+    def test_per_row_offsets(self):
+        offsets = np.array([0, 1, 2, 3])
+        frame = FrameSpec.rows(preceding(offsets), current_row())
+        start, end = resolve_bounds(frame, 4)
+        assert start.tolist() == [0, 0, 0, 0]
+        assert end.tolist() == [1, 2, 3, 4]
+
+    def test_empty_partition(self):
+        frame = FrameSpec.rows(preceding(1), current_row())
+        start, end = resolve_bounds(frame, 0)
+        assert len(start) == 0 and len(end) == 0
+
+
+class TestRangeMode:
+    def test_value_window(self):
+        keys = np.array([1.0, 2.0, 4.0, 7.0, 8.0])
+        frame = FrameSpec.range(preceding(2), current_row())
+        start, end = resolve_bounds(frame, 5, range_keys=keys)
+        # frames: values in [v-2, v]
+        assert start.tolist() == [0, 0, 1, 3, 3]
+        assert end.tolist() == [1, 2, 3, 4, 5]
+
+    def test_peers_share_current_row_bounds(self):
+        keys = np.array([1.0, 2.0, 2.0, 3.0])
+        frame = FrameSpec.range(unbounded_preceding(), current_row())
+        start, end = resolve_bounds(frame, 4, range_keys=keys)
+        assert end.tolist() == [1, 3, 3, 4]
+
+    def test_following(self):
+        keys = np.array([0.0, 1.0, 5.0])
+        frame = FrameSpec.range(current_row(), following(1))
+        start, end = resolve_bounds(frame, 3, range_keys=keys)
+        assert start.tolist() == [0, 1, 2]
+        assert end.tolist() == [2, 2, 3]
+
+    def test_nulls_at_infinity_are_their_own_peers(self):
+        keys = np.array([1.0, 2.0, np.inf, np.inf])  # nulls last
+        frame = FrameSpec.range(preceding(1), current_row())
+        start, end = resolve_bounds(frame, 4, range_keys=keys)
+        assert start.tolist()[2:] == [2, 2]
+        assert end.tolist()[2:] == [4, 4]
+
+    def test_missing_keys_rejected(self):
+        frame = FrameSpec.range(preceding(1), current_row())
+        with pytest.raises(FrameError):
+            resolve_bounds(frame, 3)
+
+    def test_unbounded_range_needs_no_keys(self):
+        frame = FrameSpec.range(unbounded_preceding(),
+                                unbounded_following())
+        start, end = resolve_bounds(frame, 3)
+        assert end.tolist() == [3, 3, 3]
+
+
+class TestGroupsMode:
+    def test_groups_window(self):
+        peers = PeerGroups(np.array([0, 0, 1, 1, 2]))
+        frame = FrameSpec.groups(preceding(1), current_row())
+        start, end = resolve_bounds(frame, 5, peers=peers)
+        assert start.tolist() == [0, 0, 0, 0, 2]
+        assert end.tolist() == [2, 2, 4, 4, 5]
+
+    def test_groups_out_of_range(self):
+        peers = PeerGroups(np.array([0, 1]))
+        frame = FrameSpec.groups(following(5), following(9))
+        start, end = resolve_bounds(frame, 2, peers=peers)
+        assert (start == end).all()
+
+    def test_groups_requires_peers(self):
+        frame = FrameSpec.groups(preceding(1), current_row())
+        with pytest.raises(FrameError):
+            resolve_bounds(frame, 3)
+
+
+class TestPeerGroups:
+    def test_geometry(self):
+        peers = PeerGroups(np.array([0, 0, 1, 2, 2, 2]))
+        assert peers.num_groups == 3
+        assert peers.peer_start().tolist() == [0, 0, 2, 3, 3, 3]
+        assert peers.peer_end().tolist() == [2, 2, 3, 6, 6, 6]
+
+    def test_single_group(self):
+        peers = PeerGroups.single_group(4)
+        assert peers.peer_start().tolist() == [0, 0, 0, 0]
+        assert peers.peer_end().tolist() == [4, 4, 4, 4]
+
+    def test_empty(self):
+        peers = PeerGroups(np.array([], dtype=np.int64))
+        assert peers.num_groups == 0
+
+
+class TestExclusion:
+    def _setup(self):
+        start = np.zeros(6, dtype=np.int64)
+        end = np.full(6, 6, dtype=np.int64)
+        peers = PeerGroups(np.array([0, 0, 1, 1, 1, 2]))
+        return start, end, peers
+
+    def _rows(self, pieces, row):
+        return row_ranges(pieces, row)
+
+    def test_no_others(self):
+        start, end, peers = self._setup()
+        pieces = exclusion_ranges(start, end, FrameExclusion.NO_OTHERS,
+                                  peers)
+        assert self._rows(pieces, 3) == [(0, 6)]
+
+    def test_current_row(self):
+        start, end, peers = self._setup()
+        pieces = exclusion_ranges(start, end, FrameExclusion.CURRENT_ROW,
+                                  peers)
+        assert self._rows(pieces, 3) == [(0, 3), (4, 6)]
+        assert self._rows(pieces, 0) == [(1, 6)]
+
+    def test_group(self):
+        start, end, peers = self._setup()
+        pieces = exclusion_ranges(start, end, FrameExclusion.GROUP, peers)
+        assert self._rows(pieces, 3) == [(0, 2), (5, 6)]
+
+    def test_ties(self):
+        start, end, peers = self._setup()
+        pieces = exclusion_ranges(start, end, FrameExclusion.TIES, peers)
+        assert self._rows(pieces, 3) == [(0, 2), (3, 4), (5, 6)]
+
+    def test_exclusion_clipped_to_frame(self):
+        start = np.full(4, 2, dtype=np.int64)
+        end = np.full(4, 3, dtype=np.int64)
+        peers = PeerGroups(np.arange(4))
+        pieces = exclusion_ranges(start, end, FrameExclusion.CURRENT_ROW,
+                                  peers)
+        # row 0's frame [2,3) does not contain row 0
+        assert self._rows(pieces, 0) == [(2, 3)]
+        assert self._rows(pieces, 2) == []
+
+    def test_group_requires_peers(self):
+        start, end, _ = self._setup()
+        with pytest.raises(FrameError):
+            exclusion_ranges(start, end, FrameExclusion.GROUP, None)
+
+    def test_frame_sizes(self):
+        start, end, peers = self._setup()
+        pieces = exclusion_ranges(start, end, FrameExclusion.GROUP, peers)
+        sizes = frame_sizes(pieces)
+        assert sizes.tolist() == [4, 4, 3, 3, 3, 5]
+
+
+@given(
+    n=st.integers(1, 40),
+    width_before=st.integers(0, 10),
+    width_after=st.integers(0, 10),
+    seed=st.integers(0, 9999),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_bounds_oracle(n, width_before, width_after, seed):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 30, size=n)).astype(np.float64)
+    frame = FrameSpec.range(preceding(width_before), following(width_after))
+    start, end = resolve_bounds(frame, n, range_keys=keys)
+    for i in range(n):
+        expected = [j for j in range(n)
+                    if keys[i] - width_before <= keys[j]
+                    <= keys[i] + width_after]
+        assert list(range(start[i], end[i])) == expected

@@ -1,0 +1,98 @@
+"""Frame specification types and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.window.frame import (
+    BoundType,
+    FrameBound,
+    FrameExclusion,
+    FrameMode,
+    FrameSpec,
+    OrderItem,
+    WindowSpec,
+    current_row,
+    following,
+    preceding,
+    unbounded_following,
+    unbounded_preceding,
+)
+
+
+class TestFrameBound:
+    def test_offset_required(self):
+        with pytest.raises(FrameError):
+            FrameBound(BoundType.PRECEDING)
+        with pytest.raises(FrameError):
+            FrameBound(BoundType.FOLLOWING)
+
+    def test_offset_forbidden(self):
+        with pytest.raises(FrameError):
+            FrameBound(BoundType.CURRENT_ROW, offset=1)
+        with pytest.raises(FrameError):
+            FrameBound(BoundType.UNBOUNDED_PRECEDING, offset=1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(FrameError):
+            preceding(-1)
+
+    def test_offset_array(self):
+        bound = preceding(np.array([1, 2, 3]))
+        assert bound.offset_array(3).tolist() == [1, 2, 3]
+        with pytest.raises(FrameError):
+            bound.offset_array(4)
+
+    def test_negative_array_offset_rejected(self):
+        bound = preceding(np.array([1, -2]))
+        with pytest.raises(FrameError):
+            bound.offset_array(2)
+
+    def test_scalar_broadcast(self):
+        assert following(5).offset_array(3).tolist() == [5, 5, 5]
+
+
+class TestFrameSpec:
+    def test_invalid_combinations(self):
+        with pytest.raises(FrameError):
+            FrameSpec(FrameMode.ROWS, unbounded_following(), current_row())
+        with pytest.raises(FrameError):
+            FrameSpec(FrameMode.ROWS, current_row(), unbounded_preceding())
+
+    def test_default_frame(self):
+        frame = FrameSpec.default()
+        assert frame.mode is FrameMode.RANGE
+        assert frame.start.type is BoundType.UNBOUNDED_PRECEDING
+        assert frame.end.type is BoundType.CURRENT_ROW
+
+    def test_constructors(self):
+        rows = FrameSpec.rows(preceding(1), following(1))
+        assert rows.mode is FrameMode.ROWS
+        groups = FrameSpec.groups(preceding(1), current_row(),
+                                  FrameExclusion.TIES)
+        assert groups.has_exclusion
+
+
+class TestWindowSpec:
+    def test_effective_frame_with_order(self):
+        spec = WindowSpec(order_by=(OrderItem("x"),))
+        frame = spec.effective_frame()
+        assert frame.mode is FrameMode.RANGE
+        assert frame.end.type is BoundType.CURRENT_ROW
+
+    def test_effective_frame_without_order(self):
+        frame = WindowSpec().effective_frame()
+        assert frame.start.type is BoundType.UNBOUNDED_PRECEDING
+        assert frame.end.type is BoundType.UNBOUNDED_FOLLOWING
+
+    def test_explicit_frame_wins(self):
+        explicit = FrameSpec.rows(preceding(3), current_row())
+        spec = WindowSpec(order_by=(OrderItem("x"),), frame=explicit)
+        assert spec.effective_frame() is explicit
+
+
+class TestOrderItem:
+    def test_default_null_placement(self):
+        assert OrderItem("x").resolved_nulls_last() is True
+        assert OrderItem("x", descending=True).resolved_nulls_last() is False
+        assert OrderItem("x", nulls_last=False).resolved_nulls_last() is False

@@ -1,0 +1,178 @@
+"""Targeted tests for evaluator plumbing and the trickiest corrections."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_columns_equal
+from repro.table import DataType, Table
+from repro.window import (
+    FrameExclusion,
+    FrameSpec,
+    WindowCall,
+    WindowSpec,
+    current_row,
+    following,
+    preceding,
+    window_query,
+)
+from repro.window.bounds import PeerGroups, exclusion_ranges
+from repro.window.calls import WindowCall as WC
+from repro.window.evaluators.common import CallInput, keep_mask
+from repro.window.frame import OrderItem
+from repro.window.partition import PartitionView
+
+
+def _partition(columns, n, frame=None, exclusion=FrameExclusion.NO_OTHERS):
+    start = np.zeros(n, dtype=np.int64)
+    end = np.full(n, n, dtype=np.int64)
+    peers = PeerGroups(np.arange(n))
+    pieces = exclusion_ranges(start, end, exclusion, peers)
+    pieces = [(np.asarray(lo), np.asarray(hi)) for lo, hi in pieces]
+    holes = []
+    if exclusion is FrameExclusion.CURRENT_ROW:
+        i = np.arange(n)
+        holes = [(np.clip(i, start, end), np.clip(i + 1, start, end))]
+    return PartitionView(columns, n, start, end, pieces, holes, peers,
+                         exclusion)
+
+
+class TestKeepMask:
+    def _columns(self):
+        return {
+            "x": (np.array([1, 2, 3, 4]),
+                  np.array([True, False, True, True])),
+            "f": (np.array([True, True, False, True]),
+                  np.array([True, True, True, False])),
+        }
+
+    def test_filter_and_null_skipping(self):
+        part = _partition(self._columns(), 4)
+        call = WC("count", ("x",), filter_where="f")
+        mask = keep_mask(call, part, skip_null_arg=True)
+        # row1: null x; row2: filter false; row3: filter NULL
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_no_filter(self):
+        part = _partition(self._columns(), 4)
+        call = WC("count", ("x",))
+        assert keep_mask(call, part, skip_null_arg=False).tolist() == \
+            [True] * 4
+
+
+class TestCallInput:
+    def test_filtered_bounds(self):
+        columns = {"x": (np.array([1, 2, 3, 4, 5]),
+                         np.array([True, False, True, False, True]))}
+        part = _partition(columns, 5)
+        call = WC("count", ("x",))
+        inputs = CallInput(call, part, skip_null_arg=True)
+        assert inputs.n_kept == 3
+        assert inputs.start_f.tolist() == [0] * 5
+        assert inputs.end_f.tolist() == [3] * 5
+        assert inputs.frame_counts().tolist() == [3] * 5
+        assert list(inputs.kept_values("x")) == [1, 3, 5]
+
+    def test_row_pieces_skip_empty(self):
+        columns = {"x": (np.arange(3), np.ones(3, dtype=np.bool_))}
+        part = _partition(columns, 3,
+                          exclusion=FrameExclusion.CURRENT_ROW)
+        call = WC("count", ("x",))
+        inputs = CallInput(call, part, skip_null_arg=False)
+        # row 0: frame [0,3) minus row 0 = [1,3) — one piece
+        assert inputs.row_pieces_f(0) == [(1, 3)]
+        # row 1: [0,1) and [2,3)
+        assert inputs.row_pieces_f(1) == [(0, 1), (2, 3)]
+
+
+class TestDistinctHoleChaining:
+    """The exact Section 4.7 correction: previous-occurrence pointers
+    chaining through EXCLUDE holes must not double-count."""
+
+    def _run(self, values, order, exclusion, frame=(3, 3)):
+        n = len(values)
+        table = Table.from_dict({
+            "o": (DataType.INT64, order),
+            "x": (DataType.INT64, values),
+        })
+        spec = WindowSpec(order_by=(OrderItem("o"),),
+                          frame=FrameSpec.rows(preceding(frame[0]),
+                                               following(frame[1]),
+                                               exclusion))
+        got = window_query(
+            table, [WindowCall("count", ("x",), distinct=True,
+                               algorithm="mst")], spec).columns[-1].to_list()
+        want = window_query(
+            table, [WindowCall("count", ("x",), distinct=True,
+                               algorithm="naive")],
+            spec).columns[-1].to_list()
+        assert got == want
+        return got
+
+    def test_value_repeats_through_current_row_hole(self):
+        # value 7 occurs before, AT, and after the excluded current row:
+        # the chain through the hole must still count 7 exactly once
+        values = [7, 7, 7, 5, 7]
+        self._run(values, list(range(5)), FrameExclusion.CURRENT_ROW)
+
+    def test_value_only_in_hole(self):
+        # value 9 occurs only at the excluded row -> must vanish
+        values = [1, 2, 9, 3, 4]
+        got = self._run(values, list(range(5)),
+                        FrameExclusion.CURRENT_ROW)
+        assert got[2] == 4  # 1,2,3,4 without 9
+
+    def test_group_exclusion_with_duplicate_peer_values(self):
+        # peers (equal o) all excluded; their values occur elsewhere too
+        values = [3, 3, 3, 8, 8]
+        order = [1, 2, 2, 2, 3]
+        self._run(values, order, FrameExclusion.GROUP)
+
+    def test_ties_keep_current_row(self):
+        values = [4, 4, 4, 4]
+        order = [1, 2, 2, 3]
+        self._run(values, order, FrameExclusion.TIES)
+
+    def test_exhaustive_small_grid(self):
+        rng = np.random.default_rng(0)
+        for trial in range(30):
+            n = int(rng.integers(2, 14))
+            values = rng.integers(0, 3, size=n).tolist()
+            order = rng.integers(0, 4, size=n).tolist()
+            exclusion = [FrameExclusion.CURRENT_ROW, FrameExclusion.GROUP,
+                         FrameExclusion.TIES][trial % 3]
+            self._run(values, order, exclusion, frame=(2, 2))
+
+
+class TestSumDistinctCorrections:
+    def test_sum_subtracts_hole_only_values(self):
+        table = Table.from_dict({
+            "o": (DataType.INT64, [1, 2, 3]),
+            "x": (DataType.INT64, [10, 99, 10]),
+        })
+        spec = WindowSpec(order_by=(OrderItem("o"),),
+                          frame=FrameSpec.rows(
+                              preceding(5), following(5),
+                              FrameExclusion.CURRENT_ROW))
+        got = window_query(
+            table, [WindowCall("sum", ("x",), distinct=True)],
+            spec).columns[-1].to_list()
+        # row 1 excludes the only 99 -> distinct sum = 10
+        assert got == [109, 10, 109]
+
+    def test_avg_distinct_with_exclusion_matches_naive(self, rng):
+        n = 40
+        table = Table.from_dict({
+            "o": (DataType.INT64, [int(v) for v in rng.integers(0, 9, n)]),
+            "x": (DataType.INT64, [int(v) for v in rng.integers(0, 4, n)]),
+        })
+        spec = WindowSpec(order_by=(OrderItem("o"),),
+                          frame=FrameSpec.rows(preceding(6), following(6),
+                                               FrameExclusion.GROUP))
+        got = window_query(
+            table, [WindowCall("avg", ("x",), distinct=True,
+                               algorithm="mst")], spec).columns[-1].to_list()
+        want = window_query(
+            table, [WindowCall("avg", ("x",), distinct=True,
+                               algorithm="naive")],
+            spec).columns[-1].to_list()
+        assert_columns_equal(got, want)

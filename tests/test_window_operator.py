@@ -1,0 +1,236 @@
+"""Window operator mechanics: partitioning, sharing, output columns."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from conftest import assert_columns_equal
+from repro.errors import WindowFunctionError
+from repro.table import DataType, Table
+from repro.window import (
+    FrameSpec,
+    WindowCall,
+    WindowOperator,
+    WindowSpec,
+    current_row,
+    preceding,
+    unbounded_preceding,
+    window_query,
+)
+from repro.window.frame import OrderItem
+
+
+def _table():
+    return Table.from_dict({
+        "g": (DataType.STRING, ["a", "b", "a", "b", "a"]),
+        "o": (DataType.INT64, [3, 1, 1, 2, 2]),
+        "v": (DataType.FLOAT64, [10.0, 20.0, 30.0, 40.0, 50.0]),
+        "d": (DataType.DATE, [datetime.date(2020, 1, i + 1)
+                              for i in range(5)]),
+    })
+
+
+class TestPartitioning:
+    def test_partitions_are_independent(self):
+        table = _table()
+        spec = WindowSpec(partition_by=("g",), order_by=(OrderItem("o"),),
+                          frame=FrameSpec.rows(unbounded_preceding(),
+                                               current_row()))
+        result = window_query(table, [WindowCall("sum", ("v",))], spec)
+        # rows in original order; partition a: rows 2 (o=1), 4 (o=2),
+        # 0 (o=3); partition b: rows 1 (o=1), 3 (o=2)
+        assert result.columns[-1].to_list() == [90.0, 20.0, 30.0, 60.0,
+                                                80.0]
+
+    def test_string_partition_keys(self):
+        table = _table()
+        spec = WindowSpec(partition_by=("g",))
+        result = window_query(table, [WindowCall("count_star")], spec)
+        assert result.columns[-1].to_list() == [3, 2, 3, 2, 3]
+
+    def test_no_partition_no_order(self):
+        table = _table()
+        result = window_query(table, [WindowCall("max", ("v",))],
+                              WindowSpec())
+        assert result.columns[-1].to_list() == [50.0] * 5
+
+    def test_null_partition_key_is_one_partition(self):
+        table = Table.from_dict({
+            "g": (DataType.INT64, [1, None, None, 1]),
+            "v": (DataType.INT64, [1, 2, 3, 4]),
+        })
+        result = window_query(table, [WindowCall("count_star")],
+                              WindowSpec(partition_by=("g",)))
+        assert result.columns[-1].to_list() == [2, 2, 2, 2]
+
+
+class TestOperatorApi:
+    def test_shared_spec_groups_calls(self):
+        table = _table()
+        spec = WindowSpec(order_by=(OrderItem("o"),))
+        operator = WindowOperator(table)
+        operator.add(WindowCall("sum", ("v",), output="s"), spec)
+        operator.add(WindowCall("count_star", output="c"), spec)
+        assert len(operator._groups) == 1
+        result = operator.run()
+        assert "s" in result.schema and "c" in result.schema
+
+    def test_distinct_specs_not_merged(self):
+        table = _table()
+        operator = WindowOperator(table)
+        operator.add(WindowCall("count_star"),
+                     WindowSpec(partition_by=("g",)))
+        operator.add(WindowCall("count_star"), WindowSpec())
+        assert len(operator._groups) == 2
+        result = operator.run()
+        # duplicate output names uniquified
+        names = result.schema.names()
+        assert "count_star" in names and "count_star_1" in names
+
+    def test_output_dtype_inference(self):
+        table = _table()
+        spec = WindowSpec(order_by=(OrderItem("o"),))
+        result = window_query(table, [
+            WindowCall("count_star", output="n"),
+            WindowCall("avg", ("v",), output="a"),
+            WindowCall("first_value", ("g",), output="s"),
+        ], spec)
+        assert result.schema.field("n").dtype is DataType.INT64
+        assert result.schema.field("a").dtype is DataType.FLOAT64
+        assert result.schema.field("s").dtype is DataType.STRING
+
+    def test_date_results_restored(self):
+        table = _table()
+        spec = WindowSpec(order_by=(OrderItem("o"),),
+                          frame=FrameSpec.rows(preceding(1), current_row()))
+        result = window_query(
+            table, [WindowCall("first_value", ("d",), output="fd"),
+                    WindowCall("lag", ("d",), output="ld"),
+                    WindowCall("max", ("d",), output="md")], spec)
+        assert result.schema.field("fd").dtype is DataType.DATE
+        assert isinstance(result.column("fd")[0], datetime.date)
+        assert result.schema.field("md").dtype is DataType.DATE
+
+    def test_empty_table(self):
+        table = Table.from_dict({"v": (DataType.INT64, [])})
+        result = window_query(table, [WindowCall("sum", ("v",))],
+                              WindowSpec())
+        assert result.num_rows == 0
+
+    def test_single_row(self):
+        table = Table.from_dict({"v": (DataType.INT64, [7])})
+        result = window_query(
+            table, [WindowCall("median", ("v",)),
+                    WindowCall("rank"),
+                    WindowCall("count", ("v",), distinct=True)],
+            WindowSpec())
+        assert result.row(0) == (7, 7.0, 1, 1)
+
+    def test_unknown_column_in_call(self):
+        table = _table()
+        with pytest.raises(WindowFunctionError):
+            window_query(table, [WindowCall("sum", ("missing",))],
+                         WindowSpec())
+
+    def test_results_scattered_to_original_order(self):
+        """Output rows must align with input rows regardless of sort."""
+        table = _table()
+        spec = WindowSpec(order_by=(OrderItem("o"),))
+        result = window_query(table, [WindowCall("row_number")], spec)
+        o = table.column("o").to_list()
+        rn = result.columns[-1].to_list()
+        # row_number over the default running frame == position in the
+        # o-sorted order (ties broken stably)
+        expected_order = sorted(range(5), key=lambda i: (o[i], i))
+        expected = [0] * 5
+        for position, row in enumerate(expected_order):
+            expected[row] = position + 1
+        assert rn == expected
+
+
+class TestMultiKeyWindowOrder:
+    def test_two_order_columns(self):
+        table = Table.from_dict({
+            "a": (DataType.INT64, [1, 1, 0, 0]),
+            "b": (DataType.INT64, [0, 1, 0, 1]),
+            "v": (DataType.INT64, [10, 20, 30, 40]),
+        })
+        spec = WindowSpec(order_by=(OrderItem("a"),
+                                    OrderItem("b", descending=True)),
+                          frame=FrameSpec.rows(unbounded_preceding(),
+                                               current_row()))
+        result = window_query(table, [WindowCall("sum", ("v",))], spec)
+        # order: (0,1)=40, (0,0)=30, (1,1)=20, (1,0)=10
+        assert result.columns[-1].to_list() == [100.0, 90.0, 70.0, 40.0]
+
+    def test_descending_range_frame(self):
+        table = Table.from_dict({
+            "o": (DataType.INT64, [5, 3, 1]),
+            "v": (DataType.INT64, [1, 2, 3]),
+        })
+        spec = WindowSpec(
+            order_by=(OrderItem("o", descending=True),),
+            frame=FrameSpec.range(preceding(2), current_row()))
+        result = window_query(table, [WindowCall("count_star")], spec)
+        # descending order 5,3,1; RANGE 2 preceding means values in
+        # [o, o+2]
+        assert result.columns[-1].to_list() == [1, 2, 2]
+
+
+class TestManyPartitions:
+    """Partition-boundary handling under a larger, many-partition load."""
+
+    def test_fifty_partitions_agree_with_oracle(self):
+        rng = np.random.default_rng(99)
+        n = 4_000
+        table = Table.from_dict({
+            "g": (DataType.INT64, [int(v) for v in rng.integers(0, 50, n)]),
+            "o": (DataType.INT64, [int(v) for v in rng.integers(0, 200, n)]),
+            "x": (DataType.INT64, [int(v) for v in rng.integers(0, 25, n)]),
+            "y": (DataType.FLOAT64,
+                  [float(v) for v in rng.normal(size=n)]),
+        })
+        spec = WindowSpec(partition_by=("g",), order_by=(OrderItem("o"),),
+                          frame=FrameSpec.rows(preceding(15), current_row()))
+        calls = [
+            WindowCall("median", ("y",), output="m"),
+            WindowCall("count", ("x",), distinct=True, output="d"),
+            WindowCall("rank", order_by=(OrderItem("y"),), output="r"),
+        ]
+        result = window_query(table, calls, spec)
+        # sample-check 60 rows against the naive oracle
+        oracle = window_query(
+            table,
+            [WindowCall("median", ("y",), output="m", algorithm="naive"),
+             WindowCall("count", ("x",), distinct=True, output="d",
+                        algorithm="naive"),
+             WindowCall("rank", order_by=(OrderItem("y"),), output="r",
+                        algorithm="naive")],
+            spec)
+        for row in range(0, n, 67):
+            assert result.column("d")[row] == oracle.column("d")[row]
+            assert result.column("r")[row] == oracle.column("r")[row]
+            assert result.column("m")[row] == \
+                pytest.approx(oracle.column("m")[row])
+
+    def test_singleton_partitions(self):
+        """Every row its own partition: all structures built at n=1."""
+        n = 40
+        table = Table.from_dict({
+            "g": (DataType.INT64, list(range(n))),
+            "y": (DataType.FLOAT64, [float(i) for i in range(n)]),
+        })
+        spec = WindowSpec(partition_by=("g",))
+        result = window_query(
+            table,
+            [WindowCall("median", ("y",), output="m"),
+             WindowCall("count", ("y",), distinct=True, output="d"),
+             WindowCall("rank", order_by=(OrderItem("y"),), output="r"),
+             WindowCall("mode", ("y",), output="mo")],
+            spec)
+        assert result.column("m").to_list() == [float(i) for i in range(n)]
+        assert result.column("d").to_list() == [1] * n
+        assert result.column("r").to_list() == [1] * n
+        assert result.column("mo").to_list() == \
+            [float(i) for i in range(n)]
