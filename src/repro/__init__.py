@@ -37,6 +37,7 @@ or, below SQL, against the window operator directly::
 from repro.errors import (
     ExecutionError,
     FrameError,
+    ParallelExecutionError,
     ReproError,
     SchemaError,
     SqlAnalysisError,
@@ -45,8 +46,9 @@ from repro.errors import (
     TypeMismatchError,
     WindowFunctionError,
 )
+from repro.cache import StructureCache
 from repro.mst import AggregateSpec, MemoryModel, MergeSortTree, make_udaf
-from repro.sql import Catalog, execute
+from repro.sql import Catalog, Session, execute
 from repro.table import Column, DataType, Field, Schema, Table
 from repro.window import (
     FrameBound,
@@ -80,12 +82,15 @@ __all__ = [
     "FrameSpec",
     "MemoryModel",
     "MergeSortTree",
+    "ParallelExecutionError",
     "ReproError",
     "Schema",
     "SchemaError",
+    "Session",
     "SqlAnalysisError",
     "SqlError",
     "SqlSyntaxError",
+    "StructureCache",
     "Table",
     "TypeMismatchError",
     "WindowCall",

@@ -13,6 +13,9 @@ from repro.bench.harness import (
     bench_scale,
     format_table,
     measure,
+    measure_with_memory,
+    save_series,
+    save_series_json,
     scaled,
 )
 from repro.bench.profiling import distinct_count_phases
@@ -23,5 +26,8 @@ __all__ = [
     "distinct_count_phases",
     "format_table",
     "measure",
+    "measure_with_memory",
+    "save_series",
+    "save_series_json",
     "scaled",
 ]

@@ -15,8 +15,15 @@ import os
 import sys
 from typing import Callable, Dict
 
+import tracemalloc
+
 from repro.bench import figures
-from repro.bench.harness import BenchSeries, save_series
+from repro.bench.harness import (
+    BenchSeries,
+    bench_scale,
+    save_series,
+    save_series_json,
+)
 
 EXPERIMENTS: Dict[str, Callable[[], BenchSeries]] = {
     "table1": figures.table1_complexity,
@@ -75,11 +82,20 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
                      f"use --list")
     for name in selected:
-        series = EXPERIMENTS[name]()
+        tracemalloc.start()
+        try:
+            series = EXPERIMENTS[name]()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        series.meta.setdefault("peak_memory_bytes", int(peak))
+        series.meta.setdefault("bench_scale", bench_scale())
         print(series)
+        print(f"  peak memory: {peak:,} bytes")
         print()
         if args.save:
             print(f"  saved: {save_series(series)}")
+            print(f"  saved: {save_series_json(series)}")
     return 0
 
 

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
 import os
 import time
+import tracemalloc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 def bench_scale() -> float:
@@ -34,6 +36,30 @@ def measure(fn: Callable[[], Any], *, repeats: int = 1,
     return best
 
 
+def measure_with_memory(fn: Callable[[], Any], *, repeats: int = 1,
+                        warmup: bool = False) -> Tuple[float, int]:
+    """Like :func:`measure`, plus the peak allocated bytes of one run.
+
+    Returns ``(best seconds, peak bytes)``. Timing runs first, untraced
+    (tracemalloc slows allocation-heavy code down); one extra traced run
+    then records the Python-heap high-water mark, which is what the
+    cache's byte budget bounds. numpy buffers allocate through the
+    traced allocator, so tree levels and prefix arrays are included.
+    """
+    best = measure(fn, repeats=repeats, warmup=warmup)
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return best, int(peak)
+
+
 @dataclass
 class BenchSeries:
     """One experiment's results: rows of labelled measurements."""
@@ -42,6 +68,7 @@ class BenchSeries:
     columns: Sequence[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)  # knobs, peaks, env
 
     def add(self, *values: Any) -> None:
         """Append one measurement row."""
@@ -112,4 +139,26 @@ def save_series(series: BenchSeries, filename: Optional[str] = None) -> str:
     path = os.path.join(results_dir(), name)
     with open(path, "w") as handle:
         handle.write(str(series) + "\n")
+    return path
+
+
+def save_series_json(series: BenchSeries,
+                     filename: Optional[str] = None) -> str:
+    """Write a series as ``benchmarks/results/BENCH_<slug>.json``.
+
+    The machine-readable twin of :func:`save_series`: rows as dicts plus
+    the ``meta`` block (budget knob, peak memory, scale), so successive
+    runs can be diffed over time. Returns the path."""
+    name = filename or f"BENCH_{_slug(series.name)}.json"
+    path = os.path.join(results_dir(), name)
+    payload = {
+        "name": series.name,
+        "columns": list(series.columns),
+        "rows": [list(row) for row in series.rows],
+        "notes": list(series.notes),
+        "meta": dict(series.meta),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
     return path

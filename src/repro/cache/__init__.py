@@ -1,0 +1,59 @@
+"""Window-index structure cache: reuse trees across queries.
+
+Every framed window function builds one or more index structures per
+partition — merge sort trees (Section 4), segment trees, range trees,
+range-mode indexes. Building them is the O(n log n) part of evaluation;
+probing them is cheap. When the same table, partitioning and ordering are
+queried repeatedly (the serving pattern), rebuilding from scratch wastes
+exactly the work the structures exist to amortise — the reuse
+optimisation Cao et al. identify as dominant for this operator.
+
+This package provides that reuse as a first-class subsystem:
+
+* :mod:`repro.cache.fingerprint` — stable content fingerprints for table
+  columns and canonical cache keys derived from ``(table fingerprint,
+  PARTITION BY, ORDER BY, structure kind, aggregate config)``;
+* :mod:`repro.cache.budget` — per-structure byte accounting (tree
+  levels, cascading pointers, prefix-aggregate arrays) against a
+  configurable global memory budget;
+* :mod:`repro.cache.store` — a thread-safe LRU :class:`StructureCache`
+  with pinning and hit/miss/eviction counters, so cached trees can be
+  shared read-only by :mod:`repro.parallel.threads` probes;
+* :mod:`repro.cache.spill` — on eviction, structures spool to disk in
+  the :mod:`repro.mst.persist` format and transparently reload on the
+  next hit.
+
+The window operator and the SQL executor integrate the cache end-to-end:
+``WindowOperator(table, cache=...)`` routes every structure build through
+it, and :class:`repro.sql.executor.Session` owns one cache per session.
+"""
+
+from repro.cache.budget import (
+    MemoryBudget,
+    StructureSizeBreakdown,
+    structure_breakdown,
+    structure_bytes,
+)
+from repro.cache.fingerprint import (
+    column_fingerprint,
+    spec_signature,
+    table_fingerprint,
+    window_group_key,
+)
+from repro.cache.spill import SpillManager
+from repro.cache.store import CacheStats, StructureAcquirer, StructureCache
+
+__all__ = [
+    "CacheStats",
+    "MemoryBudget",
+    "SpillManager",
+    "StructureAcquirer",
+    "StructureCache",
+    "StructureSizeBreakdown",
+    "column_fingerprint",
+    "spec_signature",
+    "structure_breakdown",
+    "structure_bytes",
+    "table_fingerprint",
+    "window_group_key",
+]

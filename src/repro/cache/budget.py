@@ -1,0 +1,134 @@
+"""Per-structure byte accounting against a global memory budget.
+
+The paper's Section 5.1 / 6.6 memory model prices a merge sort tree at
+``ceil(log_f n) * n`` level entries plus ``n * f / k`` cascading pointers
+per bridged level; :func:`structure_breakdown` measures the live arrays
+of every index structure the window evaluators build — tree levels,
+cascading pointer tables and prefix-aggregate annotations separately —
+so the cache can charge real bytes, not estimates, against its budget.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StructureSizeBreakdown:
+    """Measured bytes of one index structure, by component."""
+
+    levels: int = 0       # sorted level / key arrays
+    pointers: int = 0     # fractional-cascading bridge tables
+    prefixes: int = 0     # per-position prefix-aggregate annotations
+    other: int = 0        # auxiliary storage (position lists, span tables)
+
+    @property
+    def total(self) -> int:
+        return self.levels + self.pointers + self.prefixes + self.other
+
+    def __add__(self, rhs: "StructureSizeBreakdown") -> "StructureSizeBreakdown":
+        return StructureSizeBreakdown(
+            self.levels + rhs.levels, self.pointers + rhs.pointers,
+            self.prefixes + rhs.prefixes, self.other + rhs.other)
+
+
+def _ndarray_bytes(array: Any) -> int:
+    if isinstance(array, np.ndarray):
+        return int(array.nbytes)
+    if isinstance(array, (list, tuple)):
+        # Object payloads: pointer-sized slots as a floor estimate.
+        return 8 * len(array)
+    return 0
+
+
+def _mst_breakdown(tree) -> StructureSizeBreakdown:
+    levels = sum(_ndarray_bytes(keys) for keys in tree.levels.keys)
+    pointers = sum(_ndarray_bytes(bridge) for bridge in tree.levels.bridges
+                   if bridge is not None)
+    prefixes = sum(_ndarray_bytes(prefix)
+                   for prefix in tree.levels.agg_prefix)
+    return StructureSizeBreakdown(levels=levels, pointers=pointers,
+                                  prefixes=prefixes)
+
+
+def structure_breakdown(structure: Any) -> StructureSizeBreakdown:
+    """Component-wise byte accounting for any cacheable index structure.
+
+    Dispatches on type: merge sort trees, segment trees (plain and
+    holistic), the DENSE_RANK range tree and the range-mode index all
+    get exact array sums; unknown objects fall back to a
+    ``sys.getsizeof`` floor.
+    """
+    from repro.mst.tree import MergeSortTree
+    from repro.rangemode.index import RangeModeIndex
+    from repro.rangetree.dense import DenseRankIndex
+    from repro.segtree.holistic import HolisticSegmentTree
+    from repro.segtree.tree import SegmentTree
+
+    if isinstance(structure, MergeSortTree):
+        return _mst_breakdown(structure)
+    if isinstance(structure, DenseRankIndex):
+        out = StructureSizeBreakdown(
+            levels=sum(_ndarray_bytes(level)
+                       for level in structure.key_levels))
+        for inner in structure.inner:
+            out = out + _mst_breakdown(inner)
+        return out
+    if isinstance(structure, (SegmentTree, HolisticSegmentTree)):
+        return StructureSizeBreakdown(
+            levels=sum(_ndarray_bytes(level) for level in structure.levels))
+    if isinstance(structure, RangeModeIndex):
+        other = _ndarray_bytes(structure._ids)
+        other += sum(8 * len(p) for p in structure._positions)
+        other += sum(16 * len(row) for row in structure._span_mode)
+        return StructureSizeBreakdown(other=other)
+    return StructureSizeBreakdown(other=int(sys.getsizeof(structure)))
+
+
+def structure_bytes(structure: Any) -> int:
+    """Total measured bytes of one index structure."""
+    return structure_breakdown(structure).total
+
+
+class MemoryBudget:
+    """Byte accounting against an optional global limit.
+
+    Not thread-safe on its own; the owning
+    :class:`~repro.cache.store.StructureCache` serialises access under
+    its lock.
+    """
+
+    def __init__(self, total_bytes: int = None) -> None:
+        if total_bytes is not None and total_bytes < 0:
+            raise ValueError("memory budget must be non-negative")
+        self.total = total_bytes
+        self.used = 0
+
+    @property
+    def unlimited(self) -> bool:
+        return self.total is None
+
+    @property
+    def over_budget(self) -> bool:
+        return self.total is not None and self.used > self.total
+
+    def remaining(self) -> float:
+        if self.total is None:
+            return float("inf")
+        return self.total - self.used
+
+    def charge(self, nbytes: int) -> None:
+        self.used += int(nbytes)
+
+    def release(self, nbytes: int) -> None:
+        self.used -= int(nbytes)
+        if self.used < 0:  # pragma: no cover - accounting bug guard
+            raise AssertionError("memory budget released below zero")
+
+    def __repr__(self) -> str:
+        limit = "unlimited" if self.total is None else f"{self.total:,}"
+        return f"MemoryBudget(used={self.used:,}, total={limit})"

@@ -1,0 +1,94 @@
+"""Spill evicted structures to disk and reload them on the next hit.
+
+Shi & Wang (*Support Aggregate Analytic Window Function over Large Data
+by Spilling*) make byte-budgeted index stores viable beyond RAM by
+spooling to disk; here eviction from the
+:class:`~repro.cache.store.StructureCache` optionally writes merge sort
+trees in the existing :mod:`repro.mst.persist` ``.npz`` format instead
+of discarding them, and the next acquire of the same key transparently
+reloads instead of rebuilding.
+
+Only merge sort trees whose aggregate annotations are numpy arrays (or
+absent) are spillable — the same restriction :func:`repro.mst.persist.
+save_tree` enforces. The (tiny) :class:`~repro.mst.aggregates.
+AggregateSpec` is kept in memory alongside the spill path and re-attached
+on reload, so reloaded trees answer :meth:`~repro.mst.tree.MergeSortTree.
+aggregate` queries identically.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import uuid
+from typing import Any, Optional, Tuple
+
+
+def can_spill(structure: Any) -> bool:
+    """Whether :class:`SpillManager` can round-trip ``structure``."""
+    import numpy as np
+
+    from repro.mst.tree import MergeSortTree
+
+    if not isinstance(structure, MergeSortTree):
+        return False
+    return all(isinstance(prefix, np.ndarray)
+               for prefix in structure.levels.agg_prefix)
+
+
+class SpillManager:
+    """Owns a spill directory and the save/load round-trip."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._directory = directory
+        self._owned = directory is None
+        self._created = False
+        self.bytes_written = 0
+
+    @property
+    def directory(self) -> str:
+        if self._directory is None:
+            self._directory = tempfile.mkdtemp(prefix="repro-spill-")
+            self._created = True
+        elif not self._created:
+            os.makedirs(self._directory, exist_ok=True)
+            self._created = True
+        return self._directory
+
+    def spill(self, structure: Any) -> Tuple[str, Any]:
+        """Write ``structure`` to disk; returns ``(path, meta)`` where
+        ``meta`` carries state the on-disk format cannot (the aggregate
+        spec). Raises ``ValueError`` for unspillable structures — check
+        :func:`can_spill` first."""
+        from repro.mst.persist import save_tree
+
+        if not can_spill(structure):
+            raise ValueError(
+                f"{type(structure).__name__} cannot be spilled to disk")
+        path = os.path.join(self.directory, f"{uuid.uuid4().hex}.npz")
+        save_tree(structure, path)
+        self.bytes_written += os.path.getsize(path)
+        return path, structure.aggregate_spec
+
+    def load(self, path: str, meta: Any):
+        """Reload a spilled tree and re-attach its aggregate spec."""
+        from repro.mst.persist import load_tree
+
+        tree = load_tree(path)
+        tree.aggregate_spec = meta
+        return tree
+
+    def discard(self, path: str) -> None:
+        """Drop one spill file (the entry was removed from the cache)."""
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Remove the spill directory if this manager created it."""
+        if self._owned and self._created and self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._created = False
+            self._directory = None

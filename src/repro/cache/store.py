@@ -1,0 +1,271 @@
+"""Thread-safe LRU structure store with pinning, budget and spill.
+
+The cache maps canonical keys (built by :mod:`repro.cache.fingerprint`
+plus a structure kind and per-call configuration) to live index
+structures. Entries are charged real measured bytes (via
+:mod:`repro.cache.budget`) against an optional global budget; when the
+budget is exceeded the least-recently-used *unpinned* entries are
+evicted — spilled to disk when :mod:`repro.cache.spill` can round-trip
+them, dropped otherwise. A spilled entry keeps its slot (with a
+near-zero charge) and transparently reloads on the next acquire.
+
+Pinning exists because the window operator probes a partition's
+structures many times between acquire and release — possibly from
+several :mod:`repro.parallel.threads` workers sharing the tree
+read-only — and an eviction mid-probe would pull the structure out from
+under them. All mutation happens under one re-entrant lock; builds also
+run under the lock so two threads asking for the same key never build
+twice (builds are GIL-bound numpy work, so serialising them costs
+little and guarantees the "built exactly once" invariant).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.cache.budget import MemoryBudget, structure_bytes
+from repro.cache.spill import SpillManager, can_spill
+
+#: Residual charge for a spilled entry: key + path bookkeeping, not data.
+_SPILLED_RESIDUAL_BYTES = 64
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through ``EXPLAIN`` and the benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spills: int = 0
+    reloads: int = 0
+    bytes_in_use: int = 0
+    budget_bytes: Optional[int] = None
+    entries: int = 0
+    spilled_entries: int = 0
+
+    def render(self) -> List[str]:
+        """Human-readable lines for ``EXPLAIN`` output."""
+        budget = ("unlimited" if self.budget_bytes is None
+                  else f"{self.budget_bytes:,} B")
+        return [
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} spills={self.spills} "
+            f"reloads={self.reloads}",
+            f"entries={self.entries} ({self.spilled_entries} spilled) "
+            f"bytes={self.bytes_in_use:,} budget={budget}",
+        ]
+
+
+@dataclass
+class _CacheEntry:
+    key: Tuple
+    structure: Any          # None while spilled out
+    nbytes: int             # currently charged against the budget
+    live_bytes: int         # measured size when resident
+    pins: int = 0
+    spill_path: Optional[str] = None
+    spill_meta: Any = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.structure is None and self.spill_path is not None
+
+
+class StructureCache:
+    """LRU cache of window index structures.
+
+    ``budget_bytes=None`` means unlimited (never evicts). ``spill=False``
+    turns eviction into plain dropping even for spillable trees.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = None,
+                 spill_dir: Optional[str] = None, spill: bool = True) -> None:
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self._budget = MemoryBudget(budget_bytes)
+        self._spill_enabled = spill
+        self._spill = SpillManager(spill_dir)
+        self._stats = CacheStats(budget_bytes=budget_bytes)
+
+    # ------------------------------------------------------------------
+    # acquire / release
+    # ------------------------------------------------------------------
+    def acquire(self, key: Tuple, builder: Callable[[], Any],
+                pin: bool = True) -> Any:
+        """Return the structure for ``key``, building it on first use.
+
+        A hit moves the entry to the MRU end; a hit on a spilled entry
+        reloads it from disk first (counted in ``stats().reloads``).
+        With ``pin=True`` (the default) the entry is protected from
+        eviction until a matching :meth:`release`.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                if entry.spilled:
+                    entry.structure = self._spill.load(entry.spill_path,
+                                                       entry.spill_meta)
+                    self._spill.discard(entry.spill_path)
+                    entry.spill_path = None
+                    entry.spill_meta = None
+                    self._budget.release(entry.nbytes)
+                    entry.nbytes = entry.live_bytes
+                    self._budget.charge(entry.nbytes)
+                    self._stats.reloads += 1
+                self._stats.hits += 1
+                if pin:
+                    entry.pins += 1
+                # Hold a local reference before re-running eviction: an
+                # unpinned hit under a tight budget may spill this very
+                # entry back out, nulling ``entry.structure``.
+                structure = entry.structure
+                self._evict_to_budget()
+                return structure
+
+            structure = builder()
+            nbytes = structure_bytes(structure)
+            entry = _CacheEntry(key=key, structure=structure, nbytes=nbytes,
+                                live_bytes=nbytes, pins=1 if pin else 0)
+            self._entries[key] = entry
+            self._budget.charge(nbytes)
+            self._stats.misses += 1
+            self._evict_to_budget()
+            return structure
+
+    def release(self, key: Tuple) -> None:
+        """Unpin one acquisition of ``key`` and re-run eviction."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:  # evicted-by-clear while pinned: nothing to do
+                return
+            if entry.pins > 0:
+                entry.pins -= 1
+            self._evict_to_budget()
+
+    def pin(self, key: Tuple) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.pins += 1
+
+    def unpin(self, key: Tuple) -> None:
+        self.release(key)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _evict_to_budget(self) -> None:
+        if self._budget.unlimited:
+            return
+        while self._budget.over_budget:
+            victim = self._lru_victim()
+            if victim is None:
+                return  # everything left is pinned or already spilled
+            self._evict(victim)
+
+    def _lru_victim(self) -> Optional[_CacheEntry]:
+        for entry in self._entries.values():
+            if entry.pins == 0 and not entry.spilled:
+                return entry
+        return None
+
+    def _evict(self, entry: _CacheEntry) -> None:
+        self._stats.evictions += 1
+        if self._spill_enabled and can_spill(entry.structure):
+            path, meta = self._spill.spill(entry.structure)
+            entry.spill_path = path
+            entry.spill_meta = meta
+            entry.structure = None
+            self._budget.release(entry.nbytes)
+            entry.nbytes = _SPILLED_RESIDUAL_BYTES
+            self._budget.charge(entry.nbytes)
+            self._stats.spills += 1
+        else:
+            self._budget.release(entry.nbytes)
+            del self._entries[entry.key]
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """A snapshot of the counters (safe to keep after cache changes)."""
+        with self._lock:
+            spilled = sum(1 for e in self._entries.values() if e.spilled)
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                spills=self._stats.spills,
+                reloads=self._stats.reloads,
+                bytes_in_use=self._budget.used,
+                budget_bytes=self._budget.total,
+                entries=len(self._entries),
+                spilled_entries=spilled,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (including pinned ones) and spill files."""
+        with self._lock:
+            for entry in self._entries.values():
+                self._budget.release(entry.nbytes)
+                if entry.spill_path is not None:
+                    self._spill.discard(entry.spill_path)
+            self._entries.clear()
+
+    def close(self) -> None:
+        self.clear()
+        self._spill.close()
+
+    def __enter__(self) -> "StructureCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StructureAcquirer:
+    """Per-partition handle the evaluators use to obtain structures.
+
+    Composes full keys from a fixed prefix (window-group fingerprint +
+    partition index, built once by the operator) plus the structure kind
+    and per-call configuration, pins everything it hands out, and
+    releases all pins in one call when the partition's calls are done.
+
+    With ``cache=None`` it degrades to calling the builder directly, so
+    evaluators never branch on whether caching is enabled.
+    """
+
+    def __init__(self, cache: Optional[StructureCache],
+                 prefix: Tuple) -> None:
+        self._cache = cache
+        self._prefix = prefix
+        self._held: List[Tuple] = []
+
+    def acquire(self, kind: str, config: Tuple,
+                builder: Callable[[], Any]) -> Any:
+        if self._cache is None:
+            return builder()
+        key = self._prefix + (kind,) + tuple(config)
+        structure = self._cache.acquire(key, builder, pin=True)
+        self._held.append(key)
+        return structure
+
+    def release_all(self) -> None:
+        if self._cache is None:
+            return
+        held, self._held = self._held, []
+        for key in held:
+            self._cache.release(key)

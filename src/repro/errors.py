@@ -51,3 +51,17 @@ class SqlAnalysisError(SqlError):
 
 class ExecutionError(ReproError):
     """A runtime failure while executing a query plan."""
+
+
+class ParallelExecutionError(ExecutionError):
+    """A worker task failed on a thread pool.
+
+    Carries the failing ``[lo, hi)`` task slice and chains the original
+    worker exception as ``__cause__``."""
+
+    def __init__(self, lo: int, hi: int, cause: BaseException) -> None:
+        super().__init__(
+            f"worker failed on task slice [{lo}, {hi}): "
+            f"{type(cause).__name__}: {cause}")
+        self.lo = lo
+        self.hi = hi

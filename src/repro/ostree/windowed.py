@@ -14,7 +14,6 @@ degradation is reproduced faithfully.
 
 from __future__ import annotations
 
-import math
 from typing import Any, List, Optional, Sequence
 
 import numpy as np

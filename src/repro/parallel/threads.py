@@ -13,10 +13,11 @@ figures lives in :mod:`repro.parallel.simulate`.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ParallelExecutionError
 from repro.mst.build import TreeLevels
 from repro.mst.vectorized import batched_count, batched_select
 
@@ -27,16 +28,31 @@ def task_slices(n: int, task_size: int) -> List[Tuple[int, int]]:
             for start in range(0, n, task_size)]
 
 
+def _run_tasks(worker: Callable[[int, int], Any],
+               slices: List[Tuple[int, int]], workers: int) -> List[Any]:
+    """Run ``worker`` over the slices, in order; a failing task raises
+    :class:`~repro.errors.ParallelExecutionError` naming its ``[lo, hi)``
+    slice instead of an opaque pool traceback."""
+
+    def guarded(lo: int, hi: int) -> Any:
+        try:
+            return worker(lo, hi)
+        except ParallelExecutionError:
+            raise
+        except Exception as exc:
+            raise ParallelExecutionError(lo, hi, exc) from exc
+
+    if workers <= 1 or len(slices) <= 1:
+        return [guarded(lo, hi) for lo, hi in slices]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda s: guarded(*s), slices))
+
+
 def threaded_map(worker: Callable[[int, int], np.ndarray], n: int,
                  workers: int = 4, task_size: int = 20_000) -> np.ndarray:
     """Run ``worker(lo, hi)`` over task slices on a thread pool and
     concatenate the per-task result arrays in order."""
-    slices = task_slices(n, task_size)
-    if workers <= 1 or len(slices) <= 1:
-        parts = [worker(lo, hi) for lo, hi in slices]
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(lambda s: worker(*s), slices))
+    parts = _run_tasks(worker, task_slices(n, task_size), workers)
     if not parts:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(parts)
@@ -66,16 +82,11 @@ def threaded_batched_select(levels: TreeLevels, k: np.ndarray,
                             ) -> Tuple[np.ndarray, np.ndarray]:
     """Threaded variant of :func:`repro.mst.vectorized.batched_select`."""
     n = len(k)
-    slices = task_slices(n, task_size)
 
     def worker(a: int, b: int):
         return batched_select(levels, k[a:b], key_lo[a:b], key_hi[a:b])
 
-    if workers <= 1 or len(slices) <= 1:
-        parts = [worker(lo, hi) for lo, hi in slices]
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(lambda s: worker(*s), slices))
+    parts = _run_tasks(worker, task_slices(n, task_size), workers)
     if not parts:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty

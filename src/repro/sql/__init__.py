@@ -26,9 +26,9 @@ Usage::
 """
 
 from repro.sql.catalog import Catalog
-from repro.sql.executor import execute
+from repro.sql.executor import Session, execute
 from repro.sql.explain import explain
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
 
-__all__ = ["Catalog", "execute", "explain", "parse", "tokenize"]
+__all__ = ["Catalog", "Session", "execute", "explain", "parse", "tokenize"]

@@ -144,10 +144,11 @@ class Context:
     catalog: Catalog
     ctes: Dict[str, Tuple[Relation, List[str]]] = field(default_factory=dict)
     outer: Optional[OuterRow] = None
+    cache: Any = None  # optional repro.cache.StructureCache
 
     def child(self, **overrides: Any) -> "Context":
         values = {"catalog": self.catalog, "ctes": dict(self.ctes),
-                  "outer": self.outer}
+                  "outer": self.outer, "cache": self.cache}
         values.update(overrides)
         return Context(**values)
 
@@ -155,11 +156,62 @@ class Context:
 # ----------------------------------------------------------------------
 # public entry point
 # ----------------------------------------------------------------------
-def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog) -> Table:
-    """Execute a SELECT statement and return the result table."""
+def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog,
+            cache: Any = None) -> Table:
+    """Execute a SELECT statement and return the result table.
+
+    ``cache`` is an optional :class:`repro.cache.StructureCache`; window
+    index structures are acquired through it so repeated queries over
+    unchanged data reuse their trees (see :class:`Session`).
+    """
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
-    relation, names = execute_select(stmt, Context(catalog=catalog))
+    relation, names = execute_select(stmt, Context(catalog=catalog,
+                                                   cache=cache))
     return _relation_to_table(relation, names)
+
+
+class Session:
+    """A query session owning one window-structure cache.
+
+    The serving pattern the cache targets: one long-lived session, many
+    queries against slowly-changing tables. Every structure built by a
+    window evaluator is kept (up to ``budget_bytes``, with LRU spill to
+    disk beyond it) and reused whenever a later query needs the same
+    structure over the same data.
+
+    ::
+
+        session = Session(catalog, budget_bytes=64 << 20)
+        session.execute(sql)   # cold: builds trees
+        session.execute(sql)   # warm: pure probes
+        print(session.explain(sql))  # plan + cache hit/miss counters
+    """
+
+    def __init__(self, catalog: Catalog, budget_bytes: Optional[int] = None,
+                 spill_dir: Optional[str] = None, spill: bool = True) -> None:
+        from repro.cache.store import StructureCache
+        self.catalog = catalog
+        self.cache = StructureCache(budget_bytes=budget_bytes,
+                                    spill_dir=spill_dir, spill=spill)
+
+    def execute(self, sql_or_ast: Union[str, ast.SelectStmt]) -> Table:
+        return execute(sql_or_ast, self.catalog, cache=self.cache)
+
+    def explain(self, sql_or_ast: Union[str, ast.SelectStmt]) -> str:
+        from repro.sql.explain import explain as _explain
+        return _explain(sql_or_ast, cache=self.cache)
+
+    def cache_stats(self):
+        return self.cache.stats()
+
+    def close(self) -> None:
+        self.cache.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _relation_to_table(relation: Relation, names: List[str]) -> Table:
@@ -561,7 +613,7 @@ def _execute_windows(exprs: Sequence[ast.Expr],
         plan.append((call, spec))
 
     table, name_map = builder.build_table()
-    operator = WindowOperator(table)
+    operator = WindowOperator(table, cache=ctx.cache)
     outputs = []
     for index, (call, spec) in enumerate(plan):
         named = WindowCall(call.function, call.args, **{

@@ -9,18 +9,28 @@ O(n^2) nested-loop / correlated-subquery shapes the paper describes.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import Any, List, Union
 
 from repro.sql import ast
 from repro.sql.aggregates import is_aggregate_name
 from repro.sql.parser import parse
 
 
-def explain(sql_or_ast: Union[str, ast.SelectStmt]) -> str:
-    """Render the execution plan of a SELECT statement as a tree."""
+def explain(sql_or_ast: Union[str, ast.SelectStmt],
+            cache: Any = None) -> str:
+    """Render the execution plan of a SELECT statement as a tree.
+
+    With a :class:`repro.cache.StructureCache` (or via
+    :meth:`repro.sql.executor.Session.explain`) the rendering appends
+    the session's structure-cache counters, so warm-serving behaviour
+    is observable the same way the plan shape is."""
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     lines: List[str] = []
     _render_select(stmt, lines, 0)
+    if cache is not None:
+        lines.append("StructureCache")
+        for line in cache.stats().render():
+            lines.append("  " + line)
     return "\n".join(lines)
 
 

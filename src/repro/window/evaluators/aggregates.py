@@ -37,7 +37,8 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     values = np.asarray(inputs.kept_values(call.args[0]), dtype=np.float64)
     integer_input = _input_is_integer(part, call.args[0])
     if name in ("sum", "avg"):
-        tree = SegmentTree(values, kind="sum")
+        tree = inputs.structure("segtree:sum",
+                                lambda: SegmentTree(values, kind="sum"))
         sums = _combine_pieces(tree, inputs, np.add, 0.0)
         counts = inputs.frame_counts()
         if name == "sum":
@@ -46,7 +47,8 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
         return [float(sums[i] / counts[i]) if counts[i] else None
                 for i in range(inputs.n)]
     if name in ("min", "max"):
-        tree = SegmentTree(values, kind=name)
+        tree = inputs.structure(f"segtree:{name}",
+                                lambda: SegmentTree(values, kind=name))
         op = np.minimum if name == "min" else np.maximum
         identity = np.inf if name == "min" else -np.inf
         result = _combine_pieces(tree, inputs, op, identity)

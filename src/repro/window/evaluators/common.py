@@ -43,6 +43,7 @@ class CallInput:
                  skip_null_arg: bool) -> None:
         self.call = call
         self.part = part
+        self.skip_null_arg = skip_null_arg
         self.keep = keep_mask(call, part, skip_null_arg)
         self.remap = IndexRemap(self.keep)
         self.kept_rows = np.flatnonzero(self.keep)
@@ -129,6 +130,36 @@ class CallInput:
         order (empty order = frame order, i.e. the identity)."""
         kept_cols = self.kept_sort_columns(columns)
         return permutation_array(kept_cols, self.n_kept)
+
+    # ------------------------------------------------------------------
+    # structure cache
+    # ------------------------------------------------------------------
+    def function_order_signature(self, default_arg: bool = False) -> Tuple:
+        """Hashable signature of the order :meth:`function_sort_columns`
+        resolves to — part of a structure's cache key. The window ORDER
+        BY case needs no column detail: the window-group key prefix
+        already pins it."""
+        if self.call.order_by:
+            return ("call", tuple(
+                (item.column, item.descending, item.resolved_nulls_last())
+                for item in self.call.order_by))
+        if default_arg and self.call.args:
+            return ("arg", self.call.args[0])
+        if self.part.window_order:
+            return ("window",)
+        return ("none",)
+
+    def structure(self, kind: str, builder, extra: Tuple = ()) -> Any:
+        """Acquire an index structure through the partition's cache
+        acquirer, keyed by the structure ``kind``, this call's input
+        configuration (arguments, FILTER, NULL skipping) and any
+        ``extra`` discriminators; with no cache, just build."""
+        acquirer = self.part.structures
+        if acquirer is None:
+            return builder()
+        config = ((tuple(self.call.args), self.call.filter_where,
+                   self.skip_null_arg) + tuple(extra))
+        return acquirer.acquire(kind, config, builder)
 
 
 def infer_scalar(value: Any) -> Any:

@@ -64,22 +64,31 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
 
 
 def _build_tree(inputs: CallInput, aggregate: AggregateSpec = None,
-                payload: Any = None) -> MergeSortTree:
+                payload: Any = None, cache_kind: str = None) -> MergeSortTree:
     """Tree over shifted previous-occurrence indices of the kept values.
 
     Keys are ``prev + 1`` so the "-" sentinel becomes 0 (the Section 5.1
     packing); a frame threshold ``prev < lo`` becomes ``key < lo + 1``.
+
+    ``cache_kind`` names the structure in the cache key; None bypasses
+    the cache (UDAF trees carry non-reusable aggregate specs).
     """
-    values = inputs.kept_values(inputs.call.args[0]) if inputs.call.args \
-        else np.zeros(inputs.n_kept, dtype=np.int64)
-    if isinstance(values, np.ndarray):
-        prev = previous_occurrence(values)
-    else:
-        # Non-integer payloads (strings, ...) use the Section 6.7
-        # hash-sorting formulation of Algorithm 1.
-        prev = previous_occurrence_by_hash(values)
-    return MergeSortTree(prev + 1, fanout=_TREE_FANOUT,
-                         aggregate=aggregate, payload=payload)
+
+    def build() -> MergeSortTree:
+        values = inputs.kept_values(inputs.call.args[0]) if inputs.call.args \
+            else np.zeros(inputs.n_kept, dtype=np.int64)
+        if isinstance(values, np.ndarray):
+            prev = previous_occurrence(values)
+        else:
+            # Non-integer payloads (strings, ...) use the Section 6.7
+            # hash-sorting formulation of Algorithm 1.
+            prev = previous_occurrence_by_hash(values)
+        return MergeSortTree(prev + 1, fanout=_TREE_FANOUT,
+                             aggregate=aggregate, payload=payload)
+
+    if cache_kind is None:
+        return build()
+    return inputs.structure(cache_kind, build)
 
 
 def _hole_only_values(inputs: CallInput, occurrences, row: int,
@@ -105,7 +114,7 @@ def _hole_only_values(inputs: CallInput, occurrences, row: int,
 
 
 def _count_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
-    tree = _build_tree(inputs)
+    tree = _build_tree(inputs, cache_kind="mst:distinct")
     base = batched_count(tree.levels, inputs.start_f, inputs.end_f,
                          key_hi=inputs.start_f + 1)
     result = base.astype(np.int64)
@@ -122,7 +131,8 @@ def _count_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
 
 def _sum_avg_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
     payload = np.asarray(inputs.kept_values(call.args[0]), dtype=np.float64)
-    tree = _build_tree(inputs, aggregate=SUM, payload=payload)
+    tree = _build_tree(inputs, aggregate=SUM, payload=payload,
+                       cache_kind="mst:distinct:sum")
     sums = batched_aggregate(tree.levels, inputs.start_f, inputs.end_f,
                              key_hi=inputs.start_f + 1, kind="sum")
     counts = batched_count(tree.levels, inputs.start_f, inputs.end_f,

@@ -35,7 +35,7 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
         # Frame holes invalidate the central-span candidate argument.
         return _evaluate_naive(call, part, inputs)
     values = _hashable(inputs.kept_values(call.args[0]))
-    index = RangeModeIndex(values)
+    index = inputs.structure("rangemode", lambda: RangeModeIndex(values))
     lo, hi = inputs.pieces_f[0]
     out: List[Any] = []
     for i in range(part.n):

@@ -37,8 +37,11 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
             f"algorithm {call.algorithm!r} does not support LEAD/LAG")
 
     sort_columns = inputs.function_sort_columns()
-    perm = inputs.kept_permutation(sort_columns)
-    tree = MergeSortTree(perm, fanout=_TREE_FANOUT)
+    tree = inputs.structure(
+        "mst:perm",
+        lambda: MergeSortTree(inputs.kept_permutation(sort_columns),
+                              fanout=_TREE_FANOUT),
+        extra=inputs.function_order_signature())
     values = inputs.kept_values(call.args[0])
     validity = inputs.kept_validity(call.args[0])
 

@@ -60,9 +60,13 @@ def _result_values(inputs: CallInput) -> Any:
 
 def _evaluate_mst(call: WindowCall, part: PartitionView, inputs: CallInput,
                   fraction: float) -> List[Any]:
-    perm = inputs.kept_permutation(
-        inputs.function_sort_columns(default_arg=True))
-    tree = MergeSortTree(perm, fanout=_TREE_FANOUT)
+    tree = inputs.structure(
+        "mst:perm",
+        lambda: MergeSortTree(
+            inputs.kept_permutation(
+                inputs.function_sort_columns(default_arg=True)),
+            fanout=_TREE_FANOUT),
+        extra=inputs.function_order_signature(default_arg=True))
     values = _result_values(inputs)
     counts = inputs.frame_counts()
     continuous = _continuous(call)

@@ -50,7 +50,10 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
         return _dense_rank(inputs, keys)
 
     kept_keys = keys[inputs.kept_rows]
-    tree = MergeSortTree(kept_keys, fanout=_TREE_FANOUT)
+    tree = inputs.structure(
+        "mst:rankkeys",
+        lambda: MergeSortTree(kept_keys, fanout=_TREE_FANOUT),
+        extra=(unique_keys,) + inputs.function_order_signature())
     own = keys  # full-partition key per row
 
     def count_below(threshold: np.ndarray) -> np.ndarray:
@@ -90,7 +93,10 @@ def _dense_rank(inputs: CallInput, keys: np.ndarray) -> List[Any]:
         # count inexact; recompute those frames directly.
         return naive_dense_rank(keys, inputs.keep, part.pieces)
     kept_keys = keys[inputs.kept_rows]
-    index = DenseRankIndex(kept_keys)
+    index = inputs.structure(
+        "rangetree:dense",
+        lambda: DenseRankIndex(kept_keys),
+        extra=inputs.function_order_signature())
     ranks = index.batched_dense_rank(inputs.start_f, inputs.end_f, keys)
     return [int(r) for r in ranks]
 

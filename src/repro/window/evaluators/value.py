@@ -48,8 +48,12 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
         raise WindowFunctionError(
             f"algorithm {call.algorithm!r} does not support value functions")
 
-    perm = inputs.kept_permutation(inputs.function_sort_columns())
-    tree = MergeSortTree(perm, fanout=_TREE_FANOUT)
+    tree = inputs.structure(
+        "mst:perm",
+        lambda: MergeSortTree(
+            inputs.kept_permutation(inputs.function_sort_columns()),
+            fanout=_TREE_FANOUT),
+        extra=inputs.function_order_signature())
     values = inputs.kept_values(call.args[0])
     validity = inputs.kept_validity(call.args[0])
 

@@ -26,7 +26,6 @@ from repro.window.bounds import (
 from repro.window.calls import WindowCall
 from repro.window.evaluators import evaluate_call
 from repro.window.frame import (
-    BoundType,
     FrameBound,
     FrameExclusion,
     FrameMode,
@@ -44,8 +43,9 @@ class WindowOperator:
     Cao et al. [11]).
     """
 
-    def __init__(self, table: Table) -> None:
+    def __init__(self, table: Table, cache: Any = None) -> None:
         self.table = table
+        self.cache = cache  # optional repro.cache.StructureCache
         self._groups: List[Tuple[WindowSpec, List[WindowCall]]] = []
 
     def add(self, call: WindowCall, spec: WindowSpec) -> "WindowOperator":
@@ -62,7 +62,8 @@ class WindowOperator:
         outputs: Dict[str, Tuple[List[Any], WindowCall]] = {}
         ordered_names: List[str] = []
         for spec, calls in self._groups:
-            results = _evaluate_group(self.table, spec, calls)
+            results = _evaluate_group(self.table, spec, calls,
+                                      cache=self.cache)
             for call, values in zip(calls, results):
                 name = _unique_name(call.output_name, set(outputs)
                                     | set(self.table.schema.names()))
@@ -80,9 +81,9 @@ class WindowOperator:
 
 
 def window_query(table: Table, calls: Sequence[WindowCall],
-                 spec: WindowSpec) -> Table:
+                 spec: WindowSpec, cache: Any = None) -> Table:
     """One-shot convenience: evaluate ``calls`` over one window spec."""
-    operator = WindowOperator(table)
+    operator = WindowOperator(table, cache=cache)
     for call in calls:
         operator.add(call, spec)
     return operator.run()
@@ -92,8 +93,13 @@ def window_query(table: Table, calls: Sequence[WindowCall],
 # group evaluation
 # ----------------------------------------------------------------------
 def _evaluate_group(table: Table, spec: WindowSpec,
-                    calls: Sequence[WindowCall]) -> List[List[Any]]:
+                    calls: Sequence[WindowCall],
+                    cache: Any = None) -> List[List[Any]]:
     n = table.num_rows
+    group_key = None
+    if cache is not None:
+        from repro.cache.fingerprint import window_group_key
+        group_key = window_group_key(table, spec, calls)
     partition_columns = []
     for name in spec.partition_by:
         values, validity = _column_data(table, name)
@@ -122,13 +128,21 @@ def _evaluate_group(table: Table, spec: WindowSpec,
     starts = list(boundaries) + [n]
     for p in range(len(starts) - 1):
         rows = order[starts[p]:starts[p + 1]]
+        acquirer = None
+        if cache is not None:
+            from repro.cache.store import StructureAcquirer
+            acquirer = StructureAcquirer(cache, group_key + (p,))
         view = _build_partition(all_column_data, rows, spec, frame,
-                                order_columns, table)
-        for call_index, call in enumerate(calls):
-            values = evaluate_call(call, view)
-            values = _restore_dates(call, table, values)
-            for local, row in enumerate(rows):
-                results[call_index][row] = values[local]
+                                order_columns, table, structures=acquirer)
+        try:
+            for call_index, call in enumerate(calls):
+                values = evaluate_call(call, view)
+                values = _restore_dates(call, table, values)
+                for local, row in enumerate(rows):
+                    results[call_index][row] = values[local]
+        finally:
+            if acquirer is not None:
+                acquirer.release_all()
     return results
 
 
@@ -166,7 +180,7 @@ def _gather(values: Any, rows: np.ndarray) -> Any:
 def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
                      rows: np.ndarray, spec: WindowSpec, frame: FrameSpec,
                      order_columns: List[SortColumn],
-                     table: Table) -> PartitionView:
+                     table: Table, structures: Any = None) -> PartitionView:
     local_n = len(rows)
     columns: Dict[str, Tuple[Any, np.ndarray]] = {}
     for name, (values, validity) in all_column_data.items():
@@ -197,7 +211,8 @@ def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
               for lo, hi in pieces]
     holes = _holes(start, end, frame.exclusion, peers, local_n)
     return PartitionView(columns, local_n, start, end, pieces, holes, peers,
-                         frame.exclusion, window_order=spec.order_by)
+                         frame.exclusion, window_order=spec.order_by,
+                         structures=structures)
 
 
 def _range_keys(spec: WindowSpec, local_order_cols: List[SortColumn],

@@ -30,7 +30,8 @@ class PartitionView:
                  start: np.ndarray, end: np.ndarray,
                  pieces: List[RangePair], holes: List[RangePair],
                  peers: PeerGroups, exclusion: FrameExclusion,
-                 window_order: Sequence[OrderItem] = ()) -> None:
+                 window_order: Sequence[OrderItem] = (),
+                 structures: Any = None) -> None:
         self.columns = columns
         self.n = n
         self.start = start
@@ -40,6 +41,9 @@ class PartitionView:
         self.peers = peers
         self.exclusion = exclusion
         self.window_order = tuple(window_order)
+        #: Optional repro.cache.StructureAcquirer; evaluators route index
+        #: builds through it (None = always build inline).
+        self.structures = structures
 
     @property
     def has_exclusion(self) -> bool:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import (
     IncrementalDistinct,
-    IncrementalPercentile,
     incremental_distinct_count,
     incremental_percentile_disc,
     naive_distinct_aggregate,

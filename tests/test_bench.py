@@ -1,7 +1,6 @@
 """Benchmark harness utilities and the Figure 14 profiler."""
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import (
     BenchSeries,

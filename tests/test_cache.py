@@ -1,0 +1,360 @@
+"""Unit tests for the structure cache: fingerprints, budget, store."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from conftest import make_window_table
+from repro.cache.budget import (
+    MemoryBudget,
+    StructureSizeBreakdown,
+    structure_breakdown,
+    structure_bytes,
+)
+from repro.cache.fingerprint import (
+    column_fingerprint,
+    involved_columns,
+    spec_signature,
+    table_fingerprint,
+    window_group_key,
+)
+from repro.cache.store import StructureAcquirer, StructureCache
+from repro.mst.aggregates import SUM
+from repro.mst.tree import MergeSortTree
+from repro.segtree.tree import SegmentTree
+from repro.table import Column, DataType, Table
+from repro.window.calls import WindowCall
+from repro.window.frame import (
+    FrameSpec,
+    OrderItem,
+    WindowSpec,
+    current_row,
+    preceding,
+)
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_column_fingerprint_deterministic():
+    a = Column(DataType.INT64, [1, 2, None, 4])
+    b = Column(DataType.INT64, [1, 2, None, 4])
+    assert column_fingerprint(a) == column_fingerprint(b)
+
+
+def test_column_fingerprint_sensitive_to_values():
+    a = Column(DataType.INT64, [1, 2, 3])
+    b = Column(DataType.INT64, [1, 2, 4])
+    assert column_fingerprint(a) != column_fingerprint(b)
+
+
+def test_column_fingerprint_sensitive_to_validity():
+    a = Column(DataType.INT64, [1, 2, 3])
+    b = Column(DataType.INT64, [1, 2, None])
+    assert column_fingerprint(a) != column_fingerprint(b)
+
+
+def test_column_fingerprint_sensitive_to_dtype():
+    a = Column(DataType.INT64, [1, 2, 3])
+    b = Column(DataType.FLOAT64, [1.0, 2.0, 3.0])
+    assert column_fingerprint(a) != column_fingerprint(b)
+
+
+def test_column_fingerprint_string_columns():
+    a = Column(DataType.STRING, ["x", "y", None])
+    b = Column(DataType.STRING, ["x", "y", None])
+    c = Column(DataType.STRING, ["x", "z", None])
+    assert column_fingerprint(a) == column_fingerprint(b)
+    assert column_fingerprint(a) != column_fingerprint(c)
+
+
+def test_column_fingerprint_memoised_and_refreshed_on_append():
+    col = Column(DataType.INT64, [1, 2, 3])
+    first = column_fingerprint(col)
+    assert column_fingerprint(col) == first  # memo hit
+    col.append(9)
+    assert column_fingerprint(col) != first  # length change busts the memo
+
+
+def test_table_fingerprint_ignores_unrelated_columns():
+    table = make_window_table()
+    fp = table_fingerprint(table, ["g", "o", "x"])
+    # Swap out an *uninvolved* column: the restricted fingerprint holds.
+    other = Table.from_dict({
+        "g": (DataType.INT64, table.column("g").to_list()),
+        "o": (DataType.INT64, table.column("o").to_list()),
+        "x": (DataType.INT64, table.column("x").to_list()),
+        "y": (DataType.FLOAT64, [0.0] * table.num_rows),
+    }, name="t")
+    assert table_fingerprint(other, ["g", "o", "x"]) == fp
+    # But fingerprinting *all* columns sees the difference.
+    assert table_fingerprint(other) != table_fingerprint(table)
+
+
+def test_table_fingerprint_column_names_matter():
+    a = Table.from_dict({"u": (DataType.INT64, [1, 2]),
+                         "v": (DataType.INT64, [1, 2])})
+    assert table_fingerprint(a, ["u"]) != table_fingerprint(a, ["v"])
+
+
+def test_spec_signature_excludes_frame():
+    small = WindowSpec(order_by=(OrderItem("o"),),
+                       frame=FrameSpec.rows(preceding(5), current_row()))
+    large = WindowSpec(order_by=(OrderItem("o"),),
+                       frame=FrameSpec.rows(preceding(500), current_row()))
+    assert spec_signature(small) == spec_signature(large)
+
+
+def test_spec_signature_sees_ordering():
+    asc = WindowSpec(order_by=(OrderItem("o"),))
+    desc = WindowSpec(order_by=(OrderItem("o", descending=True),))
+    part = WindowSpec(partition_by=("g",), order_by=(OrderItem("o"),))
+    assert spec_signature(asc) != spec_signature(desc)
+    assert spec_signature(asc) != spec_signature(part)
+
+
+def test_involved_columns():
+    table = make_window_table()
+    spec = WindowSpec(partition_by=("g",), order_by=(OrderItem("o"),))
+    calls = [WindowCall("count", ("x",), distinct=True),
+             WindowCall("sum", ("y",), filter_where="flag")]
+    assert involved_columns(table, spec, calls) == ("flag", "g", "o", "x",
+                                                    "y")
+
+
+def test_window_group_key_stable_across_equal_tables():
+    spec = WindowSpec(partition_by=("g",), order_by=(OrderItem("o"),))
+    calls = [WindowCall("count", ("x",), distinct=True)]
+    a = make_window_table(seed=7)
+    b = make_window_table(seed=7)
+    c = make_window_table(seed=8)
+    assert window_group_key(a, spec, calls) == window_group_key(b, spec,
+                                                                calls)
+    assert window_group_key(a, spec, calls) != window_group_key(c, spec,
+                                                                calls)
+
+
+# ----------------------------------------------------------------------
+# budget
+# ----------------------------------------------------------------------
+def test_memory_budget_accounting():
+    budget = MemoryBudget(100)
+    assert not budget.over_budget and budget.remaining() == 100
+    budget.charge(60)
+    budget.charge(60)
+    assert budget.over_budget and budget.remaining() == -20
+    budget.release(60)
+    assert not budget.over_budget and budget.used == 60
+
+
+def test_memory_budget_unlimited():
+    budget = MemoryBudget(None)
+    budget.charge(1 << 40)
+    assert budget.unlimited
+    assert not budget.over_budget
+    assert budget.remaining() == float("inf")
+
+
+def test_memory_budget_rejects_negative():
+    with pytest.raises(ValueError):
+        MemoryBudget(-1)
+
+
+def test_structure_breakdown_mst_components(rng):
+    keys = rng.permutation(512)
+    plain = MergeSortTree(keys, fanout=2)
+    annotated = MergeSortTree(keys, fanout=2, aggregate=SUM,
+                              payload=keys.astype(np.float64))
+    b_plain = structure_breakdown(plain)
+    b_annot = structure_breakdown(annotated)
+    assert b_plain.levels > 0
+    assert b_plain.pointers > 0  # cascading bridges
+    assert b_plain.prefixes == 0
+    assert b_annot.prefixes > 0
+    assert b_annot.total > b_plain.total
+    assert structure_bytes(annotated) == b_annot.total
+
+
+def test_structure_breakdown_segment_tree(rng):
+    tree = SegmentTree(rng.normal(size=256), kind="sum")
+    breakdown = structure_breakdown(tree)
+    assert breakdown.levels > 0 and breakdown.total == breakdown.levels
+
+
+def test_structure_breakdown_addition():
+    a = StructureSizeBreakdown(levels=1, pointers=2, prefixes=3, other=4)
+    b = StructureSizeBreakdown(levels=10, pointers=20, prefixes=30,
+                               other=40)
+    total = a + b
+    assert (total.levels, total.pointers, total.prefixes,
+            total.other) == (11, 22, 33, 44)
+    assert total.total == 110
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+def _tree_builder(n, seed=0):
+    keys = np.random.default_rng(seed).permutation(n)
+    return lambda: MergeSortTree(keys, fanout=2)
+
+
+def test_cache_builds_once_per_key():
+    builds = []
+
+    def builder():
+        builds.append(1)
+        return MergeSortTree(np.arange(64), fanout=2)
+
+    with StructureCache() as cache:
+        first = cache.acquire(("k",), builder)
+        second = cache.acquire(("k",), builder)
+        assert first is second
+        assert len(builds) == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.bytes_in_use > 0
+
+
+def test_cache_distinct_keys_are_independent():
+    with StructureCache() as cache:
+        a = cache.acquire(("a",), _tree_builder(32, 1))
+        b = cache.acquire(("b",), _tree_builder(32, 2))
+        assert a is not b
+        assert len(cache) == 2
+        assert ("a",) in cache and ("c",) not in cache
+
+
+def test_cache_lru_eviction_order():
+    with StructureCache(budget_bytes=0, spill=False) as cache:
+        # Budget 0: each release immediately evicts the LRU entry.
+        cache.acquire(("a",), _tree_builder(64, 1))
+        cache.acquire(("b",), _tree_builder(64, 2))
+        # Both pinned: nothing evictable yet.
+        assert len(cache) == 2
+        cache.release(("a",))
+        assert ("a",) not in cache and ("b",) in cache
+        cache.release(("b",))
+        assert len(cache) == 0
+        assert cache.stats().evictions == 2
+        assert cache.stats().bytes_in_use == 0
+
+
+def test_cache_hit_refreshes_lru_position():
+    with StructureCache(spill=False) as cache:
+        cache.acquire(("a",), _tree_builder(64, 1), pin=False)
+        cache.acquire(("b",), _tree_builder(64, 2), pin=False)
+        cache.acquire(("a",), _tree_builder(64, 1), pin=False)  # refresh a
+        # Shrink the budget below one tree: the true LRU ("b") must go
+        # first. Simulate by forcing eviction through the internal hook.
+        cache._budget.total = cache.stats().bytes_in_use - 1
+        cache._evict_to_budget()
+        assert ("a",) in cache and ("b",) not in cache
+
+
+def test_cache_pinning_blocks_eviction():
+    with StructureCache(budget_bytes=0, spill=False) as cache:
+        cache.acquire(("pinned",), _tree_builder(64, 1))  # pin=True
+        cache.acquire(("loose",), _tree_builder(64, 2), pin=False)
+        assert ("pinned",) in cache
+        assert ("loose",) not in cache  # evicted immediately
+        cache.release(("pinned",))
+        assert ("pinned",) not in cache
+
+
+def test_cache_release_on_missing_key_is_noop():
+    with StructureCache() as cache:
+        cache.release(("never",))  # must not raise
+        assert cache.stats().entries == 0
+
+
+def test_cache_clear_drops_pinned_entries():
+    with StructureCache() as cache:
+        cache.acquire(("a",), _tree_builder(64, 1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().bytes_in_use == 0
+
+
+def test_cache_stats_snapshot_is_detached():
+    with StructureCache() as cache:
+        cache.acquire(("a",), _tree_builder(64, 1))
+        snapshot = cache.stats()
+        cache.acquire(("a",), _tree_builder(64, 1))
+        assert snapshot.hits == 0
+        assert cache.stats().hits == 1
+
+
+def test_cache_stats_render_lines():
+    with StructureCache(budget_bytes=1 << 20) as cache:
+        cache.acquire(("a",), _tree_builder(64, 1))
+        lines = cache.stats().render()
+        assert len(lines) == 2
+        assert "hits=0 misses=1" in lines[0]
+        assert "budget=1,048,576 B" in lines[1]
+
+
+def test_cache_concurrent_acquire_builds_exactly_once():
+    builds = []
+    barrier = threading.Barrier(8)
+    results = []
+
+    def builder():
+        builds.append(threading.get_ident())
+        return MergeSortTree(np.arange(256), fanout=2)
+
+    with StructureCache() as cache:
+        def worker():
+            barrier.wait()
+            results.append(cache.acquire(("shared",), builder, pin=False))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 7
+
+
+# ----------------------------------------------------------------------
+# acquirer
+# ----------------------------------------------------------------------
+def test_acquirer_without_cache_calls_builder_every_time():
+    builds = []
+    acquirer = StructureAcquirer(None, ("prefix",))
+
+    def builder():
+        builds.append(1)
+        return object()
+
+    acquirer.acquire("kind", (), builder)
+    acquirer.acquire("kind", (), builder)
+    acquirer.release_all()  # no-op, must not raise
+    assert len(builds) == 2
+
+
+def test_acquirer_composes_keys_and_releases_pins():
+    with StructureCache(budget_bytes=0, spill=False) as cache:
+        acquirer = StructureAcquirer(cache, ("w", "fp", 0))
+        acquirer.acquire("mst:perm", (("x",), None),
+                         _tree_builder(64, 1))
+        key = ("w", "fp", 0, "mst:perm", ("x",), None)
+        assert key in cache
+        # Pinned by the acquirer: survives a zero budget.
+        assert len(cache) == 1
+        acquirer.release_all()
+        # Unpinned: the zero budget now evicts it.
+        assert len(cache) == 0
+
+
+def test_acquirer_same_kind_different_config_distinct_entries():
+    with StructureCache() as cache:
+        acquirer = StructureAcquirer(cache, ("w",))
+        a = acquirer.acquire("mst:perm", (("x",),), _tree_builder(32, 1))
+        b = acquirer.acquire("mst:perm", (("y",),), _tree_builder(32, 2))
+        assert a is not b and len(cache) == 2
+        acquirer.release_all()

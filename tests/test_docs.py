@@ -3,7 +3,6 @@
 import pathlib
 import re
 
-import pytest
 
 from repro.sql import Catalog, execute, parse
 from repro.tpch import lineitem

@@ -1,6 +1,5 @@
 """Error hierarchy contracts."""
 
-import pytest
 
 from repro.errors import (
     ExecutionError,

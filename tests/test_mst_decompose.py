@@ -1,6 +1,5 @@
 """Run decomposition: coverage, alignment and size bounds."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

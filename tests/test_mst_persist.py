@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.mst import SUM, AVG, MergeSortTree
+from repro.mst import MAX, MIN, SUM, AVG, MergeSortTree
 from repro.mst.persist import load_tree, save_tree
+from repro.mst.vectorized import batched_aggregate, batched_count
 
 
 def test_roundtrip_count_queries(tmp_path, rng):
@@ -51,6 +52,68 @@ def test_roundtrip_numpy_aggregate(tmp_path, rng):
     for lo, hi, t in [(0, n, n), (10, 60, 30), (5, 5, 1)]:
         assert loaded.aggregate([(lo, hi)], t) == \
             tree.aggregate([(lo, hi)], t)
+
+
+@pytest.mark.parametrize("spec", [SUM, MIN, MAX], ids=["sum", "min", "max"])
+@pytest.mark.parametrize("fanout,sample_every", [(2, 1), (4, 8)])
+def test_roundtrip_prefix_aggregates_exact(tmp_path, rng, spec, fanout,
+                                           sample_every):
+    """Per-position prefix-aggregate annotations survive the round-trip
+    bit-for-bit, across fanouts and sampling rates (the cache's spill
+    path depends on exactly this)."""
+    n = 257  # deliberately not a power of the fanout
+    keys = rng.integers(-1, n, size=n)
+    payload = rng.normal(size=n)
+    tree = MergeSortTree(keys, fanout=fanout, sample_every=sample_every,
+                         aggregate=spec, payload=payload)
+    path = tmp_path / f"{spec.name}.npz"
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    assert loaded.aggregate_spec is None  # caller re-attaches
+    loaded.aggregate_spec = spec
+    assert len(loaded.levels.agg_prefix) == len(tree.levels.agg_prefix)
+    for ours, theirs in zip(loaded.levels.agg_prefix,
+                            tree.levels.agg_prefix):
+        np.testing.assert_array_equal(ours, theirs)
+    for _ in range(40):
+        lo, hi = sorted(rng.integers(0, n + 1, size=2))
+        t = int(rng.integers(-2, n + 2))
+        assert loaded.aggregate([(int(lo), int(hi))], t) == \
+            tree.aggregate([(int(lo), int(hi))], t)
+
+
+def test_roundtrip_prefix_aggregates_batched(tmp_path, rng):
+    """The vectorised probe kernels read reloaded annotations too."""
+    n = 400
+    keys = rng.integers(0, 50, size=n)
+    payload = rng.normal(size=n)
+    tree = MergeSortTree(keys, fanout=2, aggregate=SUM, payload=payload)
+    path = tmp_path / "batched.npz"
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    loaded.aggregate_spec = SUM
+    lo = rng.integers(0, n // 2, size=64)
+    hi = lo + rng.integers(0, n // 2, size=64)
+    key_hi = rng.integers(0, 50, size=64)
+    np.testing.assert_allclose(
+        batched_aggregate(loaded.levels, lo, hi, key_hi, kind="sum"),
+        batched_aggregate(tree.levels, lo, hi, key_hi, kind="sum"))
+    np.testing.assert_array_equal(
+        batched_count(loaded.levels, lo, hi, key_hi),
+        batched_count(tree.levels, lo, hi, key_hi))
+
+
+def test_roundtrip_prefix_aggregates_tiny(tmp_path):
+    """Degenerate shapes: single element and two equal keys."""
+    for keys, payload in ([0], [1.5]), ([3, 3], [2.0, 4.0]):
+        tree = MergeSortTree(np.asarray(keys), fanout=2, aggregate=SUM,
+                             payload=np.asarray(payload))
+        path = tmp_path / f"tiny_{len(keys)}.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        loaded.aggregate_spec = SUM
+        n = len(keys)
+        assert loaded.aggregate([(0, n)], 10) == tree.aggregate([(0, n)], 10)
 
 
 def test_generic_annotations_rejected(tmp_path, rng):

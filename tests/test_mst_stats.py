@@ -1,6 +1,5 @@
 """Memory model (Section 5.1 formula, Section 6.6 numbers)."""
 
-import numpy as np
 import pytest
 
 from repro.mst import MemoryModel, MergeSortTree, tree_memory_elements

@@ -21,7 +21,7 @@ from repro.window import (
     unbounded_preceding,
     window_query,
 )
-from repro.window.frame import FrameMode, OrderItem
+from repro.window.frame import OrderItem
 
 
 @pytest.fixture(scope="module")

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ParallelExecutionError, ReproError
 from repro.mst.tree import MergeSortTree
 from repro.mst.vectorized import batched_count, batched_select
 from repro.parallel.threads import (
@@ -28,6 +29,37 @@ def test_threaded_map_orders_results():
 def test_threaded_map_empty():
     out = threaded_map(lambda lo, hi: np.arange(lo, hi), 0, workers=4)
     assert len(out) == 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_worker_exception_carries_task_slice(workers):
+    def worker(lo, hi):
+        if lo == 10:
+            raise ValueError("probe blew up")
+        return np.arange(lo, hi)
+
+    with pytest.raises(ParallelExecutionError) as info:
+        threaded_map(worker, 23, workers=workers, task_size=5)
+    assert "[10, 15)" in str(info.value)
+    assert "probe blew up" in str(info.value)
+    assert info.value.lo == 10 and info.value.hi == 15
+    assert isinstance(info.value.__cause__, ValueError)
+    # catchable as a library error
+    assert isinstance(info.value, ReproError)
+
+
+def test_select_worker_exception_carries_task_slice(rng):
+    n = 100
+    perm = rng.permutation(n)
+    tree = MergeSortTree(perm, fanout=2)
+    a = np.zeros(n, dtype=np.int64)
+    b = np.full(n, n, dtype=np.int64)
+    k = np.zeros(n, dtype=np.int64)
+    k[60] = n + 5  # out of range -> worker raises inside its slice
+    with pytest.raises(ParallelExecutionError) as info:
+        threaded_batched_select(tree.levels, k, a, b, workers=2,
+                                task_size=25)
+    assert info.value.lo == 50 and info.value.hi == 75
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4])

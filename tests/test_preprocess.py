@@ -1,7 +1,6 @@
 """Preprocessing passes: Algorithm 1, permutations, rank keys, remaps."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Stable multi-key sorting with NULL placement."""
 
 import numpy as np
-import pytest
 
 from repro.sortutil import SortColumn, sorted_equal_runs, stable_argsort
 

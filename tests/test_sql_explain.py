@@ -1,6 +1,5 @@
 """EXPLAIN plan rendering."""
 
-import pytest
 
 from repro.sql import explain
 

@@ -5,7 +5,7 @@ import datetime
 
 import pytest
 
-from repro.errors import SqlAnalysisError, SqlSyntaxError
+from repro.errors import SqlAnalysisError
 from repro.sql import Catalog, execute
 from repro.table import DataType, Table
 

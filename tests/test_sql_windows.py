@@ -2,7 +2,6 @@
 
 import datetime
 
-import numpy as np
 import pytest
 
 from conftest import assert_columns_equal

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SchemaError, TypeMismatchError
-from repro.table import Column, DataType, Field, Schema, Table
+from repro.table import Column, DataType, Schema, Table
 from repro.table.column import date_to_ordinal, ordinal_to_date
 from repro.table.csvio import read_csv, write_csv
 

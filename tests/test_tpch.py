@@ -3,7 +3,6 @@
 import datetime
 
 import numpy as np
-import pytest
 
 from repro.table import DataType
 from repro.tpch import (

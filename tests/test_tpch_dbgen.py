@@ -7,7 +7,7 @@ import pytest
 from repro.errors import SchemaError
 from repro.sql import Catalog, execute
 from repro.table import DataType
-from repro.tpch import LINEITEM_COLUMNS, load_lineitem, load_orders, load_tbl
+from repro.tpch import load_lineitem, load_orders, load_tbl
 
 _LINEITEM_ROW = ("1|155190|7706|1|17|21168.23|0.04|0.02|N|O|1996-03-13|"
                  "1996-02-12|1996-03-22|DELIVER IN PERSON|TRUCK|"

@@ -1,7 +1,6 @@
 """Targeted tests for evaluator plumbing and the trickiest corrections."""
 
 import numpy as np
-import pytest
 
 from conftest import assert_columns_equal
 from repro.table import DataType, Table
@@ -10,8 +9,7 @@ from repro.window import (
     FrameSpec,
     WindowCall,
     WindowSpec,
-    current_row,
-    following,
+        following,
     preceding,
     window_query,
 )

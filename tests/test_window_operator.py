@@ -5,7 +5,6 @@ import datetime
 import numpy as np
 import pytest
 
-from conftest import assert_columns_equal
 from repro.errors import WindowFunctionError
 from repro.table import DataType, Table
 from repro.window import (

@@ -6,7 +6,6 @@ merge-sort-tree evaluation must match the brute-force oracle exactly.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
