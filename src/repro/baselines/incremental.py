@@ -26,6 +26,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.resilience.context import current_context
+
 
 class IncrementalDistinct:
     """Multiplicity hash table over an evolving ``[lo, hi)`` row window."""
@@ -84,7 +86,9 @@ def incremental_distinct_count(values: Sequence[Any], start: np.ndarray,
     """Framed COUNT DISTINCT over continuous frames, incrementally."""
     state = IncrementalDistinct(values)
     out: List[int] = []
+    ctx = current_context()
     for i in range(len(start)):
+        ctx.tick(i)
         state.move_to(int(start[i]), int(end[i]))
         out.append(state.distinct)
     return out
@@ -144,7 +148,9 @@ def incremental_percentile_disc(values: Sequence[Any], start: np.ndarray,
     """Framed PERCENTILE_DISC over continuous frames, incrementally."""
     state = IncrementalPercentile(values)
     out: List[Optional[Any]] = []
+    ctx = current_context()
     for i in range(len(start)):
+        ctx.tick(i)
         state.move_to(int(start[i]), int(end[i]))
         size = len(state)
         if size == 0:

@@ -17,6 +17,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.resilience.context import current_context
+
 RangePair = Tuple[np.ndarray, np.ndarray]
 
 
@@ -33,7 +35,9 @@ def naive_distinct_count(values: Sequence[Any], keep: Sequence[bool],
     """COUNT(DISTINCT values) per frame, ignoring rows with keep=False."""
     n = len(values)
     out = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         seen = {values[j] for j in frame_rows(pieces, i) if keep[j]}
         out.append(len(seen))
     return out
@@ -46,7 +50,9 @@ def naive_distinct_aggregate(values: Sequence[Any], keep: Sequence[bool],
     empty). ``fold`` receives the distinct values in first-seen order."""
     n = len(values)
     out = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         seen: dict = {}
         for j in frame_rows(pieces, i):
             if keep[j] and values[j] not in seen:
@@ -62,7 +68,9 @@ def naive_kth(order_keys: Sequence[Any], result_values: Sequence[Any],
     when ordered (stably) by ``order_keys``; None when out of range."""
     n = len(result_values)
     out = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         rows = [j for j in frame_rows(pieces, i) if keep[j]]
         rows.sort(key=lambda j: (order_keys[j], j))
         k = ks[i]
@@ -79,7 +87,9 @@ def naive_percentile_disc(values: Sequence[Any], keep: Sequence[bool],
     """PERCENTILE_DISC(fraction) of the kept frame values per row."""
     n = len(values)
     out = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         frame = sorted(values[j] for j in frame_rows(pieces, i) if keep[j])
         if not frame:
             out.append(None)
@@ -96,7 +106,9 @@ def naive_percentile_cont(values: Sequence[Any], keep: Sequence[bool],
     nearest kept frame values."""
     n = len(values)
     out: List[Optional[float]] = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         frame = sorted(float(values[j])
                        for j in frame_rows(pieces, i) if keep[j])
         if not frame:
@@ -118,7 +130,9 @@ def naive_rank(rank_keys: Sequence[Any], keep: Sequence[bool],
     ``ties='at_most'`` (the CUME_DIST numerator)."""
     n = len(rank_keys)
     out = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         key = rank_keys[i]
         if ties == "strict":
             count = sum(1 for j in frame_rows(pieces, i)
@@ -136,7 +150,9 @@ def naive_dense_rank(rank_keys: Sequence[Any], keep: Sequence[bool],
     current row's key."""
     n = len(rank_keys)
     out = []
+    ctx = current_context()
     for i in range(n):
+        ctx.tick(i)
         key = rank_keys[i]
         seen = {rank_keys[j] for j in frame_rows(pieces, i)
                 if keep[j] and rank_keys[j] < key}

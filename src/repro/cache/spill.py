@@ -2,11 +2,28 @@
 
 Shi & Wang (*Support Aggregate Analytic Window Function over Large Data
 by Spilling*) make byte-budgeted index stores viable beyond RAM by
-spooling to disk; here eviction from the
+spooling to disk — but only with disciplined failure handling around the
+spill boundary. Eviction from the
 :class:`~repro.cache.store.StructureCache` optionally writes merge sort
 trees in the existing :mod:`repro.mst.persist` ``.npz`` format instead
 of discarding them, and the next acquire of the same key transparently
-reloads instead of rebuilding.
+reloads instead of rebuilding. The I/O path is hardened:
+
+* **atomic writes** — each spill goes to ``<name>.tmp.npz`` and is
+  ``os.replace``d into place as ``<name>.npz``, so a crash mid-write
+  never leaves a half-written spill file where a valid one is expected;
+* **checksums** — a CRC32 (``zlib.crc32`` over the full ``.npz`` byte
+  stream) is recorded at write time and verified before every reload;
+  mismatches raise :class:`~repro.errors.SpillCorruptionError`, which
+  the cache answers by rebuilding from source data;
+* **bounded retries** — transient ``OSError`` on write or read is
+  retried with exponential backoff (corruption is deterministic and is
+  *not* retried);
+* **orphan sweeping** — spill files are named ``repro-spill-*.npz``;
+  when a caller-provided directory is first opened, leftover spill and
+  temp files from a previous (possibly crashed) process are removed.
+  Self-owned temp directories are additionally registered with
+  ``atexit`` so a normal interpreter shutdown cannot leak them.
 
 Only merge sort trees whose aggregate annotations are numpy arrays (or
 absent) are spillable — the same restriction :func:`repro.mst.persist.
@@ -14,15 +31,28 @@ save_tree` enforces. The (tiny) :class:`~repro.mst.aggregates.
 AggregateSpec` is kept in memory alongside the spill path and re-attached
 on reload, so reloaded trees answer :meth:`~repro.mst.tree.MergeSortTree.
 aggregate` queries identically.
+
+Fault-injection sites (see :mod:`repro.resilience.faults`):
+``spill.write`` fires once per write attempt, ``spill.read`` once per
+read attempt — so retry behaviour is directly testable.
 """
 
 from __future__ import annotations
 
+import atexit
+import glob
 import os
 import shutil
 import tempfile
+import time
 import uuid
-from typing import Any, Optional, Tuple
+import zlib
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import SpillCorruptionError
+from repro.resilience.context import current_context
+
+_SPILL_PREFIX = "repro-spill-"
 
 
 def can_spill(structure: Any) -> bool:
@@ -37,50 +67,171 @@ def can_spill(structure: Any) -> bool:
                for prefix in structure.levels.agg_prefix)
 
 
-class SpillManager:
-    """Owns a spill directory and the save/load round-trip."""
+def _file_crc32(path: str) -> int:
+    """CRC32 of a file's full byte stream, computed in chunks."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+
+def sweep_orphans(directory: str) -> int:
+    """Remove leftover spill artefacts in ``directory``; returns count.
+
+    Targets only this module's naming scheme (``repro-spill-*.npz`` and
+    their ``.tmp`` siblings), so unrelated files in a shared directory
+    are never touched. A spill directory belongs to exactly one
+    :class:`~repro.cache.store.StructureCache`, so anything matching at
+    startup is an orphan of a previous process by construction.
+    """
+    removed = 0
+    for path in glob.glob(os.path.join(directory, f"{_SPILL_PREFIX}*.npz")):
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+    return removed
+
+
+class SpillManager:
+    """Owns a spill directory and the save/load round-trip.
+
+    ``max_retries`` bounds *additional* attempts after the first for
+    transient I/O errors; ``backoff`` is the initial sleep between
+    attempts (doubled each retry) and ``sleep`` is injectable so tests
+    and simulated clocks never block.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_retries: int = 2, backoff: float = 0.01,
+                 sleep: Optional[Callable[[float], None]] = None) -> None:
         self._directory = directory
         self._owned = directory is None
         self._created = False
         self.bytes_written = 0
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._checksums: Dict[str, int] = {}
+        self.retries = 0       # transient-I/O retry attempts taken
+        self.orphans_swept = 0
 
     @property
     def directory(self) -> str:
         if self._directory is None:
             self._directory = tempfile.mkdtemp(prefix="repro-spill-")
             self._created = True
+            atexit.register(self._atexit_cleanup, self._directory)
         elif not self._created:
             os.makedirs(self._directory, exist_ok=True)
+            self.orphans_swept += sweep_orphans(self._directory)
             self._created = True
         return self._directory
 
+    @staticmethod
+    def _atexit_cleanup(directory: str) -> None:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
     def spill(self, structure: Any) -> Tuple[str, Any]:
         """Write ``structure`` to disk; returns ``(path, meta)`` where
         ``meta`` carries state the on-disk format cannot (the aggregate
         spec). Raises ``ValueError`` for unspillable structures — check
-        :func:`can_spill` first."""
+        :func:`can_spill` first — and ``OSError`` when every write
+        attempt failed."""
         from repro.mst.persist import save_tree
 
         if not can_spill(structure):
             raise ValueError(
                 f"{type(structure).__name__} cannot be spilled to disk")
-        path = os.path.join(self.directory, f"{uuid.uuid4().hex}.npz")
-        save_tree(structure, path)
+        name = f"{_SPILL_PREFIX}{uuid.uuid4().hex}"
+        path = os.path.join(self.directory, f"{name}.npz")
+        # numpy appends ".npz" to foreign suffixes, so the temp file must
+        # keep the extension: <name>.tmp.npz -> atomic rename -> <name>.npz
+        tmp = os.path.join(self.directory, f"{name}.tmp.npz")
+
+        def write_once() -> None:
+            current_context().fire("spill.write")
+            try:
+                save_tree(structure, tmp)
+                self._checksums[path] = _file_crc32(tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                self._checksums.pop(path, None)
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+
+        self._with_retries(write_once)
         self.bytes_written += os.path.getsize(path)
         return path, structure.aggregate_spec
 
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
     def load(self, path: str, meta: Any):
-        """Reload a spilled tree and re-attach its aggregate spec."""
+        """Reload a spilled tree, verify its checksum and re-attach its
+        aggregate spec. Raises :class:`~repro.errors.SpillCorruptionError`
+        for checksum mismatches or undecodable files (not retried) and
+        ``OSError`` when transient reads kept failing."""
         from repro.mst.persist import load_tree
 
-        tree = load_tree(path)
+        def read_once():
+            current_context().fire("spill.read")
+            expected = self._checksums.get(path)
+            if expected is not None:
+                actual = _file_crc32(path)
+                if actual != expected:
+                    raise SpillCorruptionError(
+                        f"spill file {os.path.basename(path)!r} failed its "
+                        f"checksum (crc32 {actual:#010x}, expected "
+                        f"{expected:#010x})")
+            try:
+                return load_tree(path)
+            except OSError:
+                raise  # transient: let the retry loop handle it
+            except Exception as exc:
+                raise SpillCorruptionError(
+                    f"spill file {os.path.basename(path)!r} could not be "
+                    f"decoded: {type(exc).__name__}: {exc}") from exc
+
+        tree = self._with_retries(read_once)
         tree.aggregate_spec = meta
         return tree
 
+    def _with_retries(self, operation: Callable[[], Any]) -> Any:
+        """Run ``operation``, retrying transient OSError with backoff."""
+        delay = self.backoff
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except SpillCorruptionError:
+                raise  # deterministic: retrying cannot help
+            except OSError:
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self.retries += 1
+                current_context().record_retry()
+                self._sleep(delay)
+                delay *= 2
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
     def discard(self, path: str) -> None:
         """Drop one spill file (the entry was removed from the cache)."""
+        self._checksums.pop(path, None)
         try:
             os.remove(path)
         except OSError:  # pragma: no cover - already gone
@@ -88,6 +239,7 @@ class SpillManager:
 
     def close(self) -> None:
         """Remove the spill directory if this manager created it."""
+        self._checksums.clear()
         if self._owned and self._created and self._directory is not None:
             shutil.rmtree(self._directory, ignore_errors=True)
             self._created = False

@@ -28,6 +28,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.cache.budget import MemoryBudget, structure_bytes
 from repro.cache.spill import SpillManager, can_spill
+from repro.errors import SpillCorruptionError
+from repro.resilience.context import current_context
 
 #: Residual charge for a spilled entry: key + path bookkeeping, not data.
 _SPILLED_RESIDUAL_BYTES = 64
@@ -42,6 +44,9 @@ class CacheStats:
     evictions: int = 0
     spills: int = 0
     reloads: int = 0
+    corruptions: int = 0      # spilled entries that failed reload
+    spill_failures: int = 0   # evictions degraded to drops by write errors
+    spill_retries: int = 0    # transient-I/O retry attempts
     bytes_in_use: int = 0
     budget_bytes: Optional[int] = None
     entries: int = 0
@@ -51,13 +56,19 @@ class CacheStats:
         """Human-readable lines for ``EXPLAIN`` output."""
         budget = ("unlimited" if self.budget_bytes is None
                   else f"{self.budget_bytes:,} B")
-        return [
+        lines = [
             f"hits={self.hits} misses={self.misses} "
             f"evictions={self.evictions} spills={self.spills} "
             f"reloads={self.reloads}",
             f"entries={self.entries} ({self.spilled_entries} spilled) "
             f"bytes={self.bytes_in_use:,} budget={budget}",
         ]
+        if self.corruptions or self.spill_failures or self.spill_retries:
+            lines.append(
+                f"corruptions={self.corruptions} "
+                f"spill_failures={self.spill_failures} "
+                f"spill_retries={self.spill_retries}")
+        return lines
 
 
 @dataclass
@@ -83,12 +94,15 @@ class StructureCache:
     """
 
     def __init__(self, budget_bytes: Optional[int] = None,
-                 spill_dir: Optional[str] = None, spill: bool = True) -> None:
+                 spill_dir: Optional[str] = None, spill: bool = True,
+                 spill_retries: int = 2, spill_backoff: float = 0.01,
+                 spill_sleep=None) -> None:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         self._budget = MemoryBudget(budget_bytes)
         self._spill_enabled = spill
-        self._spill = SpillManager(spill_dir)
+        self._spill = SpillManager(spill_dir, max_retries=spill_retries,
+                                   backoff=spill_backoff, sleep=spill_sleep)
         self._stats = CacheStats(budget_bytes=budget_bytes)
 
     # ------------------------------------------------------------------
@@ -102,14 +116,29 @@ class StructureCache:
         reloads it from disk first (counted in ``stats().reloads``).
         With ``pin=True`` (the default) the entry is protected from
         eviction until a matching :meth:`release`.
+
+        A spilled entry whose file fails its checksum (or cannot be read
+        after retries) is *not* an error: the corrupt file is discarded,
+        the slot dropped, and the structure rebuilt from source via
+        ``builder`` — counted in ``stats().corruptions``.
         """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None:
+            if entry is not None and entry.spilled:
                 self._entries.move_to_end(key)
-                if entry.spilled:
+                try:
                     entry.structure = self._spill.load(entry.spill_path,
                                                        entry.spill_meta)
+                except (SpillCorruptionError, OSError):
+                    # Rebuild-on-corruption: drop the poisoned slot and
+                    # fall through to the build path below.
+                    self._stats.corruptions += 1
+                    current_context().record_corruption()
+                    self._spill.discard(entry.spill_path)
+                    self._budget.release(entry.nbytes)
+                    del self._entries[key]
+                    entry = None
+                else:
                     self._spill.discard(entry.spill_path)
                     entry.spill_path = None
                     entry.spill_meta = None
@@ -117,6 +146,8 @@ class StructureCache:
                     entry.nbytes = entry.live_bytes
                     self._budget.charge(entry.nbytes)
                     self._stats.reloads += 1
+            if entry is not None:
+                self._entries.move_to_end(key)
                 self._stats.hits += 1
                 if pin:
                     entry.pins += 1
@@ -185,7 +216,16 @@ class StructureCache:
     def _evict(self, entry: _CacheEntry) -> None:
         self._stats.evictions += 1
         if self._spill_enabled and can_spill(entry.structure):
-            path, meta = self._spill.spill(entry.structure)
+            try:
+                path, meta = self._spill.spill(entry.structure)
+            except OSError:
+                # Spill writes kept failing: degrade the eviction to a
+                # plain drop rather than failing the unrelated acquire
+                # that triggered it. The structure rebuilds on next use.
+                self._stats.spill_failures += 1
+                self._budget.release(entry.nbytes)
+                del self._entries[entry.key]
+                return
             entry.spill_path = path
             entry.spill_meta = meta
             entry.structure = None
@@ -210,6 +250,9 @@ class StructureCache:
                 evictions=self._stats.evictions,
                 spills=self._stats.spills,
                 reloads=self._stats.reloads,
+                corruptions=self._stats.corruptions,
+                spill_failures=self._stats.spill_failures,
+                spill_retries=self._spill.retries,
                 bytes_in_use=self._budget.used,
                 budget_bytes=self._budget.total,
                 entries=len(self._entries),

@@ -7,6 +7,8 @@ still being able to distinguish the individual failure modes.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -57,11 +59,64 @@ class ParallelExecutionError(ExecutionError):
     """A worker task failed on a thread pool.
 
     Carries the failing ``[lo, hi)`` task slice and chains the original
-    worker exception as ``__cause__``."""
+    worker exception as ``__cause__``. When several workers failed before
+    the pool could be drained, ``failures`` lists every collected
+    per-slice error (the primary one included); otherwise it holds just
+    the primary error."""
 
-    def __init__(self, lo: int, hi: int, cause: BaseException) -> None:
+    def __init__(self, lo: int, hi: int, cause: BaseException,
+                 failures: "Optional[List[ParallelExecutionError]]" = None
+                 ) -> None:
+        extra = ""
+        if failures is not None and len(failures) > 1:
+            extra = f" (+{len(failures) - 1} more worker failure(s))"
         super().__init__(
             f"worker failed on task slice [{lo}, {hi}): "
-            f"{type(cause).__name__}: {cause}")
+            f"{type(cause).__name__}: {cause}{extra}")
         self.lo = lo
         self.hi = hi
+        self.failures: List[ParallelExecutionError] = \
+            list(failures) if failures else [self]
+
+
+class ResilienceError(ExecutionError):
+    """Base class for the execution-guardrail failure modes.
+
+    These are the *typed* errors the resilience layer promises: a query
+    under a deadline, cancellation token or resource limit either
+    completes (possibly via a fallback evaluator) or raises one of
+    these — it never hangs and never crashes with an opaque error."""
+
+
+class QueryTimeoutError(ResilienceError):
+    """The query's deadline expired before evaluation finished."""
+
+
+class QueryCancelledError(ResilienceError):
+    """The query's cancellation token was set while it was running."""
+
+
+class ResourceLimitError(ResilienceError):
+    """A per-query resource limit (rows, structure bytes) was exceeded."""
+
+
+class StructureBuildError(ResilienceError):
+    """An index-structure build failed; carries the structure kind.
+
+    The window operator treats this (and :class:`ResourceLimitError`
+    raised during a build) as a signal to degrade gracefully to the
+    matching baseline evaluator instead of failing the query."""
+
+    def __init__(self, kind: str, cause: BaseException) -> None:
+        super().__init__(
+            f"building structure {kind!r} failed: "
+            f"{type(cause).__name__}: {cause}")
+        self.kind = kind
+
+
+class SpillCorruptionError(ResilienceError):
+    """A spilled structure failed its checksum or could not be decoded.
+
+    The structure cache recovers by discarding the spill file and
+    rebuilding the structure from source data; this error only escapes
+    when recovery itself is impossible."""

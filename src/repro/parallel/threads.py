@@ -12,14 +12,15 @@ figures lives in :mod:`repro.parallel.simulate`.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ParallelExecutionError
+from repro.errors import ParallelExecutionError, ResilienceError
 from repro.mst.build import TreeLevels
 from repro.mst.vectorized import batched_count, batched_select
+from repro.resilience.context import activate, current_context
 
 
 def task_slices(n: int, task_size: int) -> List[Tuple[int, int]]:
@@ -30,22 +31,62 @@ def task_slices(n: int, task_size: int) -> List[Tuple[int, int]]:
 
 def _run_tasks(worker: Callable[[int, int], Any],
                slices: List[Tuple[int, int]], workers: int) -> List[Any]:
-    """Run ``worker`` over the slices, in order; a failing task raises
-    :class:`~repro.errors.ParallelExecutionError` naming its ``[lo, hi)``
-    slice instead of an opaque pool traceback."""
+    """Run ``worker`` over the slices, in order, fail-fast.
+
+    Each task re-activates the submitting thread's
+    :class:`~repro.resilience.context.ExecutionContext` (deadlines and
+    cancellation propagate into pool workers), checkpoints it, and fires
+    the ``parallel.worker`` fault site. On the first failure every
+    not-yet-started task is cancelled; tasks already running are drained
+    and *all* their failures are attached to the raised
+    :class:`~repro.errors.ParallelExecutionError` (``failures``
+    attribute, deterministic slice order). Deadline expiry and
+    cancellation propagate as their own typed errors instead of being
+    wrapped."""
+    ctx = current_context()
 
     def guarded(lo: int, hi: int) -> Any:
-        try:
-            return worker(lo, hi)
-        except ParallelExecutionError:
-            raise
-        except Exception as exc:
-            raise ParallelExecutionError(lo, hi, exc) from exc
+        with activate(ctx):
+            try:
+                ctx.checkpoint()
+                ctx.fire("parallel.worker")
+                return worker(lo, hi)
+            except (ParallelExecutionError, ResilienceError):
+                raise
+            except Exception as exc:
+                raise ParallelExecutionError(lo, hi, exc) from exc
 
     if workers <= 1 or len(slices) <= 1:
         return [guarded(lo, hi) for lo, hi in slices]
+
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(lambda s: guarded(*s), slices))
+        futures = [pool.submit(guarded, lo, hi) for lo, hi in slices]
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        if all(f.exception() is None for f in done):
+            return [f.result() for f in futures]
+        # Fail fast: cancel whatever has not started, then drain the
+        # tasks already on a thread so every failure can be collected.
+        for future in not_done:
+            future.cancel()
+        wait([f for f in futures if not f.cancelled()])
+        failures: List[BaseException] = []
+        for future in futures:
+            if future.cancelled():
+                continue
+            exc = future.exception()
+            if exc is not None:
+                failures.append(exc)
+        for exc in failures:
+            if isinstance(exc, ResilienceError):
+                raise exc
+        primary = failures[0]
+        if isinstance(primary, ParallelExecutionError):
+            raise ParallelExecutionError(
+                primary.lo, primary.hi,
+                primary.__cause__ or primary,
+                failures=failures) from primary.__cause__
+        raise ParallelExecutionError(  # pragma: no cover - defensive
+            -1, -1, primary, failures=failures) from primary
 
 
 def threaded_map(worker: Callable[[int, int], np.ndarray], n: int,

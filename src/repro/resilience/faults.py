@@ -1,0 +1,123 @@
+"""Deterministic fault injection for the execution guardrails.
+
+Failure handling is only trustworthy when the failures themselves are
+reproducible: this module lets tests (and chaos-style benchmarks) arm
+named *sites* in the execution stack — spill writes, spill reads,
+structure builds, parallel workers — with an exact schedule of
+exceptions. A site fires on specific call numbers, so a test can say
+"the first two spill writes fail with EIO, the third succeeds" and get
+the same run every time.
+
+Sites currently wired into the engine:
+
+* ``spill.write``   — inside :meth:`repro.cache.spill.SpillManager.spill`,
+  once per write attempt (so retries re-fire it);
+* ``spill.read``    — inside :meth:`repro.cache.spill.SpillManager.load`,
+  once per read attempt;
+* ``structure.build`` — around every index-structure build routed
+  through :meth:`repro.window.evaluators.common.CallInput.structure`;
+* ``parallel.worker`` — at the start of every thread-pool task in
+  :mod:`repro.parallel.threads`.
+
+The injector is carried by the active
+:class:`~repro.resilience.context.ExecutionContext`; code under test
+reaches it via ``current_context().fire(site)``, which also counts the
+injected fault in the context's health counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+def _default_exception(site: str) -> Exception:
+    if site.startswith("spill."):
+        return OSError(f"injected I/O fault at {site!r}")
+    return RuntimeError(f"injected fault at {site!r}")
+
+
+@dataclass
+class _FaultPlan:
+    """Fire on call numbers ``after < k <= after + times`` (1-based)."""
+
+    times: int
+    after: int
+    exception: Optional[Callable[[], Exception]]
+    calls: int = 0
+    fired: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """A deterministic schedule of exceptions keyed by site name.
+
+    With no plans armed (the default), :meth:`fire` is a cheap no-op,
+    so production paths can call it unconditionally.
+    """
+
+    _plans: Dict[str, _FaultPlan] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def plan(self, site: str, times: int = 1, after: int = 0,
+             exception: Optional[Callable[[], Exception]] = None
+             ) -> "FaultInjector":
+        """Arm ``site``: skip the first ``after`` calls, then raise on
+        the next ``times`` calls (``times < 0`` = every call forever).
+        Returns self for chaining."""
+        with self._lock:
+            self._plans[site] = _FaultPlan(times=times, after=after,
+                                           exception=exception)
+        return self
+
+    def clear(self, site: Optional[str] = None) -> None:
+        with self._lock:
+            if site is None:
+                self._plans.clear()
+            else:
+                self._plans.pop(site, None)
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._plans)
+
+    def fire(self, site: str) -> None:
+        """Raise the scheduled exception if ``site``'s plan says so."""
+        if not self._plans:
+            return
+        with self._lock:
+            plan = self._plans.get(site)
+            if plan is None:
+                return
+            plan.calls += 1
+            due = plan.calls > plan.after and (
+                plan.times < 0 or plan.fired < plan.times)
+            if not due:
+                return
+            plan.fired += 1
+            factory = plan.exception
+        raise factory() if factory is not None else _default_exception(site)
+
+    def fired(self, site: str) -> int:
+        """How many times ``site`` has actually raised."""
+        with self._lock:
+            plan = self._plans.get(site)
+            return plan.fired if plan is not None else 0
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` has been reached (fired or not)."""
+        with self._lock:
+            plan = self._plans.get(site)
+            return plan.calls if plan is not None else 0
+
+
+#: Shared disabled injector for ambient contexts; never armed.
+NO_FAULTS = FaultInjector()
+
+
+def sites() -> List[str]:
+    """The site names wired into the engine (for docs and validation)."""
+    return ["spill.write", "spill.read", "structure.build",
+            "parallel.worker"]

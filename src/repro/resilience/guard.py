@@ -1,0 +1,78 @@
+"""Guarded index-structure builds and the fallback decision.
+
+Cao et al. (*Optimization of Analytic Window Functions*) argue for
+keeping several evaluation strategies live so the engine can pick
+another plan when one misbehaves; this module is the seam where that
+happens for structure builds. Every build routed through
+:meth:`repro.window.evaluators.common.CallInput.structure` is wrapped by
+:func:`guarded_builder`, which
+
+* checkpoints the active :class:`~repro.resilience.context.
+  ExecutionContext` (a deadline can expire between builds),
+* fires the ``structure.build`` fault-injection site,
+* converts unexpected build failures into a typed
+  :class:`~repro.errors.StructureBuildError`, and
+* enforces ``limits.max_structure_bytes`` on the finished structure
+  (raising :class:`~repro.errors.ResourceLimitError`).
+
+:func:`fallback_call` then maps a failed call onto the matching baseline
+evaluator — every function family ships a naive O(n·f) path — so the
+window operator can complete the query at degraded speed instead of
+failing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceLimitError,
+    StructureBuildError,
+)
+from repro.resilience.context import current_context
+
+#: Errors that mean "this strategy failed, another may work" — the only
+#: ones the operator converts into a baseline fallback. Timeouts and
+#: cancellations always propagate.
+FALLBACK_ERRORS = (StructureBuildError, ResourceLimitError, MemoryError)
+
+
+def guarded_builder(kind: str,
+                    builder: Callable[[], Any]) -> Callable[[], Any]:
+    """Wrap a structure builder with the guardrail checks."""
+
+    def build() -> Any:
+        ctx = current_context()
+        ctx.checkpoint()
+        try:
+            # The fault site is inside the try so an injected build
+            # failure takes the same StructureBuildError path a real
+            # one would.
+            ctx.fire("structure.build")
+            structure = builder()
+        except (QueryTimeoutError, QueryCancelledError,
+                ResourceLimitError, StructureBuildError):
+            raise
+        except Exception as exc:
+            raise StructureBuildError(kind, exc) from exc
+        if ctx.limits.max_structure_bytes is not None:
+            from repro.cache.budget import structure_bytes
+            ctx.guard_structure_bytes(kind, structure_bytes(structure))
+        return structure
+
+    return build
+
+
+def fallback_call(call: Any) -> Optional[Any]:
+    """The baseline variant of ``call``, or None if already a baseline.
+
+    All families implement ``algorithm="naive"``, so the fallback matrix
+    is total: mst/segtree/ostree/incremental/rangemode strategies all
+    degrade to the naive per-frame recomputation oracle.
+    """
+    if call.algorithm == "naive":
+        return None
+    return replace(call, algorithm="naive")

@@ -22,6 +22,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import SqlAnalysisError
+from repro.resilience.context import (
+    CancellationToken,
+    ExecutionContext,
+    HealthCounters,
+    ResourceLimits,
+    activate,
+    current_context,
+)
+from repro.resilience.faults import FaultInjector
 from repro.sql import ast
 from repro.sql.aggregates import compute_aggregate, is_aggregate_name
 from repro.sql.catalog import Catalog
@@ -157,17 +166,33 @@ class Context:
 # public entry point
 # ----------------------------------------------------------------------
 def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog,
-            cache: Any = None) -> Table:
+            cache: Any = None,
+            context: Optional[ExecutionContext] = None) -> Table:
     """Execute a SELECT statement and return the result table.
 
     ``cache`` is an optional :class:`repro.cache.StructureCache`; window
     index structures are acquired through it so repeated queries over
     unchanged data reuse their trees (see :class:`Session`).
+
+    ``context`` is an optional
+    :class:`~repro.resilience.context.ExecutionContext` carrying the
+    query's deadline, cancellation token, resource limits and fault
+    injector. It is installed as the calling thread's active context for
+    the duration of the query, so every layer below — pipeline stages,
+    the window operator, evaluator loops, thread-pool workers —
+    checkpoints against it without parameter plumbing. Without one, the
+    query runs under the current (usually ambient, unarmed) context.
     """
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
-    relation, names = execute_select(stmt, Context(catalog=catalog,
-                                                   cache=cache))
-    return _relation_to_table(relation, names)
+    if context is None:
+        relation, names = execute_select(stmt, Context(catalog=catalog,
+                                                       cache=cache))
+        return _relation_to_table(relation, names)
+    with activate(context):
+        context.checkpoint()
+        relation, names = execute_select(stmt, Context(catalog=catalog,
+                                                       cache=cache))
+        return _relation_to_table(relation, names)
 
 
 class Session:
@@ -179,30 +204,72 @@ class Session:
     disk beyond it) and reused whenever a later query needs the same
     structure over the same data.
 
+    Each query runs under its own
+    :class:`~repro.resilience.context.ExecutionContext`. ``timeout`` and
+    ``limits`` given here are session-wide defaults; per-call arguments
+    to :meth:`execute` override them. ``clock``/``faults`` exist for
+    deterministic testing (simulated deadlines, injected I/O failures).
+    Guardrail telemetry accumulates across queries in
+    :meth:`health_stats` and renders in :meth:`explain` — a query that
+    timed out, retried spill I/O or degraded to a baseline evaluator
+    leaves a visible trace.
+
     ::
 
-        session = Session(catalog, budget_bytes=64 << 20)
+        session = Session(catalog, budget_bytes=64 << 20, timeout=5.0)
         session.execute(sql)   # cold: builds trees
         session.execute(sql)   # warm: pure probes
-        print(session.explain(sql))  # plan + cache hit/miss counters
+        print(session.explain(sql))  # plan + cache + health counters
     """
 
     def __init__(self, catalog: Catalog, budget_bytes: Optional[int] = None,
-                 spill_dir: Optional[str] = None, spill: bool = True) -> None:
+                 spill_dir: Optional[str] = None, spill: bool = True,
+                 timeout: Optional[float] = None,
+                 limits: Optional[ResourceLimits] = None,
+                 faults: Optional[FaultInjector] = None,
+                 clock: Any = None) -> None:
         from repro.cache.store import StructureCache
         self.catalog = catalog
         self.cache = StructureCache(budget_bytes=budget_bytes,
                                     spill_dir=spill_dir, spill=spill)
+        self.default_timeout = timeout
+        self.default_limits = limits
+        self.faults = faults
+        self.clock = clock
+        self.health = HealthCounters()
 
-    def execute(self, sql_or_ast: Union[str, ast.SelectStmt]) -> Table:
-        return execute(sql_or_ast, self.catalog, cache=self.cache)
+    def execute(self, sql_or_ast: Union[str, ast.SelectStmt],
+                timeout: Optional[float] = None,
+                token: Optional[CancellationToken] = None,
+                limits: Optional[ResourceLimits] = None) -> Table:
+        """Run one query under this session's guardrails.
+
+        ``timeout``/``limits`` default to the session-wide settings;
+        ``token`` allows another thread to cancel this query
+        cooperatively. The query's health counters are merged into the
+        session totals whether it succeeds or fails."""
+        context = ExecutionContext(
+            timeout=timeout if timeout is not None else self.default_timeout,
+            token=token,
+            limits=limits if limits is not None else self.default_limits,
+            faults=self.faults,
+            clock=self.clock)
+        try:
+            return execute(sql_or_ast, self.catalog, cache=self.cache,
+                           context=context)
+        finally:
+            self.health.merge(context.health)
 
     def explain(self, sql_or_ast: Union[str, ast.SelectStmt]) -> str:
         from repro.sql.explain import explain as _explain
-        return _explain(sql_or_ast, cache=self.cache)
+        return _explain(sql_or_ast, cache=self.cache, health=self.health)
 
     def cache_stats(self):
         return self.cache.stats()
+
+    def health_stats(self) -> HealthCounters:
+        """Accumulated guardrail telemetry across this session's queries."""
+        return self.health
 
     def close(self) -> None:
         self.cache.close()
@@ -236,6 +303,8 @@ def _relation_to_table(relation: Relation, names: List[str]) -> Table:
 # ----------------------------------------------------------------------
 def execute_select(stmt: ast.SelectStmt,
                    ctx: Context) -> Tuple[Relation, List[str]]:
+    exec_ctx = current_context()
+    exec_ctx.checkpoint()
     if stmt.ctes:
         ctx = ctx.child()
         for name, select in stmt.ctes:
@@ -243,6 +312,11 @@ def execute_select(stmt: ast.SelectStmt,
             ctx.ctes[name.lower()] = (relation, names)
 
     relation = _execute_from(stmt.from_, ctx)
+    # Pipeline stages are the executor's batch boundaries: check the
+    # guardrails between FROM, WHERE, aggregation/windows and projection
+    # and hold every materialised relation to the row ceiling.
+    exec_ctx.guard_rows(relation.n)
+    exec_ctx.checkpoint()
 
     if stmt.where is not None:
         mask = truthy_rows(_eval(stmt.where, relation, ctx))
@@ -255,6 +329,7 @@ def execute_select(stmt: ast.SelectStmt,
         _contains_aggregate(e) for e in select_exprs) or (
             stmt.having is not None and _contains_aggregate(stmt.having))
 
+    exec_ctx.checkpoint()
     rewritten_items: List[ast.Expr] = select_exprs
     if has_aggregates:
         if any(_contains_window(e) for e in select_exprs):
@@ -280,6 +355,7 @@ def execute_select(stmt: ast.SelectStmt,
                          s.nulls_last) for s in stmt.order_by))
 
     # Projection.
+    exec_ctx.checkpoint()
     out_vectors: List[Vector] = []
     out_names: List[str] = []
     for item, expr in zip(stmt.items, rewritten_items):
@@ -343,8 +419,11 @@ def _execute_join(join: ast.Join, ctx: Context) -> Relation:
             right_rows.append(np.arange(right.n, dtype=np.int64))
     else:
         # Nested-loop join: vectorised predicate per left row. This is
-        # the O(n^2) plan the Figure 9 baselines are stuck with.
+        # the O(n^2) plan the Figure 9 baselines are stuck with — which
+        # is exactly why its outer loop must stay interruptible.
+        exec_ctx = current_context()
         for i in range(left.n):
+            exec_ctx.checkpoint()
             outer = OuterRow(left, i, parent=ctx.outer)
             inner_ctx = ctx.child(outer=outer)
             mask = truthy_rows(_eval(join.condition, right, inner_ctx))
@@ -1038,7 +1117,9 @@ def _eval_scalar_subquery(expr: ast.ScalarSubquery, relation: Relation,
     if not usage[0]:
         return _broadcast_scalar(first, n)
     values: List[Any] = [first]
+    exec_ctx = current_context()
     for row in range(1, n):
+        exec_ctx.checkpoint()
         outer = OuterRow(relation, row, parent=ctx.outer)
         sub_rel, _ = execute_select(expr.select, ctx.child(outer=outer))
         values.append(_scalar_from(sub_rel))
@@ -1065,7 +1146,9 @@ def _eval_exists(expr: ast.ExistsExpr, relation: Relation,
                  ctx: Context) -> Vector:
     n = relation.n
     result = np.zeros(n, dtype=np.bool_)
+    exec_ctx = current_context()
     for row in range(n):
+        exec_ctx.checkpoint()
         outer = OuterRow(relation, row, parent=ctx.outer)
         sub_rel, _ = execute_select(expr.select, ctx.child(outer=outer))
         result[row] = sub_rel.n > 0

@@ -17,19 +17,34 @@ from repro.sql.parser import parse
 
 
 def explain(sql_or_ast: Union[str, ast.SelectStmt],
-            cache: Any = None) -> str:
+            cache: Any = None, health: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
     :meth:`repro.sql.executor.Session.explain`) the rendering appends
     the session's structure-cache counters, so warm-serving behaviour
-    is observable the same way the plan shape is."""
+    is observable the same way the plan shape is.
+
+    ``health`` is an optional
+    :class:`~repro.resilience.context.HealthCounters`; when any
+    guardrail event has been recorded (timeout, cancellation, spill
+    retry, evaluator fallback, injected fault, corruption, limit hit) a
+    ``Resilience`` section lists the counters and each recorded
+    evaluator downgrade — so a query that silently degraded to a
+    baseline evaluator is still visible after the fact."""
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     lines: List[str] = []
     _render_select(stmt, lines, 0)
     if cache is not None:
         lines.append("StructureCache")
         for line in cache.stats().render():
+            lines.append("  " + line)
+    if health is not None and (
+            health.timeouts or health.cancellations or health.retries
+            or health.fallbacks or health.faults or health.corruptions
+            or health.limit_hits or health.downgrades):
+        lines.append("Resilience")
+        for line in health.render():
             lines.append("  " + line)
     return "\n".join(lines)
 

@@ -3,6 +3,8 @@
 from typing import Any, List
 
 from repro.errors import WindowFunctionError
+from repro.resilience.context import current_context
+from repro.resilience.guard import FALLBACK_ERRORS, fallback_call
 from repro.window.calls import WindowCall
 from repro.window.partition import PartitionView
 
@@ -12,7 +14,31 @@ def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
 
     Dispatches on the call's family; every evaluator returns a list of
     ``part.n`` Python values (None = SQL NULL) in partition order.
+
+    Graceful degradation lives here so every entry point (SQL executor,
+    :func:`~repro.window.operator.window_query`, direct operator use)
+    gets it: when the chosen strategy fails with a
+    :data:`~repro.resilience.guard.FALLBACK_ERRORS` condition — a
+    structure build error, a resource-limit hit, or a ``MemoryError`` —
+    the call is retried once with ``algorithm="naive"`` and the
+    downgrade is recorded in the active context's health counters.
+    Timeouts and cancellations always propagate.
     """
+    ctx = current_context()
+    ctx.checkpoint()
+    try:
+        return _dispatch(call, part)
+    except FALLBACK_ERRORS as exc:
+        fallback = fallback_call(call)
+        if fallback is None:
+            raise
+        ctx.record_fallback(
+            f"{call.function}[{call.algorithm}] -> naive "
+            f"({type(exc).__name__}: {exc})")
+        return _dispatch(fallback, part)
+
+
+def _dispatch(call: WindowCall, part: PartitionView) -> List[Any]:
     from repro.window.evaluators import (
         aggregates,
         distinct,

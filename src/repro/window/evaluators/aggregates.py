@@ -20,6 +20,7 @@ from repro.segtree.tree import SegmentTree
 from repro.window.calls import WindowCall
 from repro.window.evaluators.common import CallInput, infer_scalar
 from repro.window.partition import PartitionView
+from repro.resilience.context import current_context
 
 
 def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
@@ -85,7 +86,9 @@ def _evaluate_udaf(call: WindowCall, part: PartitionView,
                          identity=spec.identity)
     out = []
     counts = inputs.frame_counts()
+    ctx = current_context()
     for i in range(inputs.n):
+        ctx.tick(i)
         if not counts[i]:
             out.append(None)
             continue
@@ -105,7 +108,9 @@ def _evaluate_naive(call: WindowCall, part: PartitionView,
                 for i in range(part.n)]
     values, _ = part.column(call.args[0])
     out: List[Any] = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         frame = [values[j] for j in frame_rows(part.pieces, i) if keep[j]]
         frame = [infer_scalar(v) for v in frame]
         if not frame:

@@ -9,6 +9,7 @@ import numpy as np
 from repro.errors import WindowFunctionError
 from repro.preprocess.permutation import permutation_array
 from repro.preprocess.remap import IndexRemap
+from repro.resilience.guard import guarded_builder
 from repro.sortutil import SortColumn
 from repro.window.calls import WindowCall
 from repro.window.partition import PartitionView
@@ -153,13 +154,21 @@ class CallInput:
         """Acquire an index structure through the partition's cache
         acquirer, keyed by the structure ``kind``, this call's input
         configuration (arguments, FILTER, NULL skipping) and any
-        ``extra`` discriminators; with no cache, just build."""
+        ``extra`` discriminators; with no cache, just build.
+
+        Builds run guarded (see :mod:`repro.resilience.guard`): the
+        active deadline is checked, the ``structure.build`` fault site
+        fires, failures surface as typed
+        :class:`~repro.errors.StructureBuildError` and oversized results
+        as :class:`~repro.errors.ResourceLimitError` — both of which the
+        dispatcher answers by degrading to the baseline evaluator."""
+        guarded = guarded_builder(kind, builder)
         acquirer = self.part.structures
         if acquirer is None:
-            return builder()
+            return guarded()
         config = ((tuple(self.call.args), self.call.filter_where,
                    self.skip_null_arg) + tuple(extra))
-        return acquirer.acquire(kind, config, builder)
+        return acquirer.acquire(kind, config, guarded)
 
 
 def infer_scalar(value: Any) -> Any:

@@ -36,6 +36,7 @@ from repro.window.calls import WindowCall
 from repro.window.evaluators import aggregates as plain_aggregates
 from repro.window.evaluators.common import CallInput, infer_scalar
 from repro.window.partition import PartitionView
+from repro.resilience.context import current_context
 
 _TREE_FANOUT = 2
 
@@ -122,7 +123,9 @@ def _count_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
         values, _ = inputs.part.column(call.args[0])
         occurrences = occurrence_lists(
             values, validity=_kept_validity_full(inputs))
+        ctx = current_context()
         for row in range(inputs.n):
+            ctx.tick(row)
             if inputs.part.row_holes(row):
                 result[row] -= len(_hole_only_values(
                     inputs, occurrences, row, values, inputs.keep))
@@ -141,7 +144,9 @@ def _sum_avg_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
         values, _ = inputs.part.column(call.args[0])
         occurrences = occurrence_lists(
             values, validity=_kept_validity_full(inputs))
+        ctx = current_context()
         for row in range(inputs.n):
+            ctx.tick(row)
             if inputs.part.row_holes(row):
                 extra = _hole_only_values(inputs, occurrences, row, values,
                                           inputs.keep)
@@ -153,7 +158,9 @@ def _sum_avg_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
                          inputs.part.column(call.args[0])[0].dtype,
                          np.integer))
     out: List[Any] = []
+    ctx = current_context()
     for i in range(inputs.n):
+        ctx.tick(i)
         if counts[i] <= 0:
             out.append(None)
         elif call.function == "sum":
@@ -177,7 +184,9 @@ def _udaf_distinct(call: WindowCall, part: PartitionView,
     counts = batched_count(tree.levels, inputs.start_f, inputs.end_f,
                            key_hi=inputs.start_f + 1)
     out: List[Any] = []
+    ctx = current_context()
     for i in range(inputs.n):
+        ctx.tick(i)
         if counts[i] <= 0:
             out.append(None)
             continue
@@ -232,7 +241,9 @@ def _evaluate_incremental(call: WindowCall, part: PartitionView,
     values = inputs.kept_values(call.args[0])
     state = IncrementalDistinct(values)
     out = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         state.move_to(int(inputs.start_f[i]), int(inputs.end_f[i]))
         out.append(state.distinct)
     return out

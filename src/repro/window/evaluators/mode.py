@@ -20,6 +20,7 @@ from repro.rangemode import IncrementalMode, RangeModeIndex
 from repro.window.calls import WindowCall
 from repro.window.evaluators.common import CallInput, infer_scalar
 from repro.window.partition import PartitionView
+from repro.resilience.context import current_context
 
 
 def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
@@ -38,7 +39,9 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     index = inputs.structure("rangemode", lambda: RangeModeIndex(values))
     lo, hi = inputs.pieces_f[0]
     out: List[Any] = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         mode, _count = index.query(int(lo[i]), int(hi[i]))
         out.append(infer_scalar(mode))
     return out
@@ -56,7 +59,9 @@ def _evaluate_incremental(call: WindowCall, part: PartitionView,
     state = IncrementalMode(values)
     lo, hi = inputs.pieces_f[0]
     out: List[Any] = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         state.move_to(int(lo[i]), int(hi[i]))
         out.append(infer_scalar(state.mode()[0]))
     return out
@@ -70,7 +75,9 @@ def _evaluate_naive(call: WindowCall, part: PartitionView,
         if value not in first_seen:
             first_seen[value] = position
     out: List[Any] = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         counts: Dict[Any, int] = {}
         for lo, hi in inputs.pieces_f:
             for j in range(int(lo[i]), int(hi[i])):

@@ -24,6 +24,7 @@ from repro.window.calls import WindowCall
 from repro.window.evaluators.common import CallInput, infer_scalar
 from repro.window.evaluators.value import _composite_keys
 from repro.window.partition import PartitionView
+from repro.resilience.context import current_context
 
 _TREE_FANOUT = 2
 
@@ -79,7 +80,9 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
                 p = int(pos[j])
                 out[row] = infer_scalar(values[p]) if validity[p] else None
         return out
+    ctx = current_context()
     for row in range(part.n):
+        ctx.tick(row)
         if not in_range[row]:
             continue
         ranges = inputs.row_pieces_f(row)
@@ -99,7 +102,9 @@ def _evaluate_naive(call: WindowCall, part: PartitionView,
     keep = inputs.keep
     signed = call.offset if call.function == "lead" else -call.offset
     out: List[Any] = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         rows = [j for j in frame_rows(part.pieces, i) if keep[j]]
         rows.sort(key=lambda j: (order_keys[j], j))
         before = sum(1 for j in rows

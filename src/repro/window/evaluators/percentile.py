@@ -28,6 +28,7 @@ from repro.segtree.holistic import HolisticSegmentTree
 from repro.window.calls import WindowCall
 from repro.window.evaluators.common import CallInput, infer_scalar
 from repro.window.partition import PartitionView
+from repro.resilience.context import current_context
 
 _TREE_FANOUT = 2
 
@@ -75,7 +76,9 @@ def _evaluate_mst(call: WindowCall, part: PartitionView, inputs: CallInput,
         return _select_single_piece(tree, inputs, values, counts, fraction,
                                     continuous)
     out: List[Any] = []
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         size = int(counts[i])
         if size == 0:
             out.append(None)
@@ -140,7 +143,9 @@ def _evaluate_naive(call: WindowCall, part: PartitionView, inputs: CallInput,
         integer_input = np.issubdtype(values.dtype, np.integer)
         lo, hi = inputs.pieces_f[0]
         out: List[Any] = []
+        ctx = current_context()
         for i in range(part.n):
+            ctx.tick(i)
             a, b = int(lo[i]), int(hi[i])
             if a >= b:
                 out.append(None)
@@ -170,7 +175,9 @@ def _evaluate_sliding(call: WindowCall, part: PartitionView,
     if call.algorithm == "incremental":
         state = IncrementalPercentile(values)
         out: List[Any] = []
+        ctx = current_context()
         for i in range(part.n):
+            ctx.tick(i)
             state.move_to(int(start[i]), int(end[i]))
             size = len(state)
             if size == 0:
@@ -189,7 +196,9 @@ def _evaluate_sliding(call: WindowCall, part: PartitionView,
     out = []
     numeric_int = (isinstance(values, np.ndarray)
                    and np.issubdtype(values.dtype, np.integer))
+    ctx = current_context()
     for i in range(part.n):
+        ctx.tick(i)
         lo, hi = int(start[i]), int(end[i])
         if lo >= hi:
             out.append(None)
@@ -203,7 +212,9 @@ def _sliding_cont(call: WindowCall, values: Any, start: np.ndarray,
                   end: np.ndarray, fraction: float) -> List[Optional[float]]:
     state = IncrementalPercentile(values)
     out: List[Optional[float]] = []
+    ctx = current_context()
     for i in range(len(start)):
+        ctx.tick(i)
         state.move_to(int(start[i]), int(end[i]))
         size = len(state)
         if size == 0:

@@ -21,6 +21,7 @@ from repro.mst.vectorized import batched_select
 from repro.window.calls import WindowCall
 from repro.window.evaluators.common import CallInput, infer_scalar
 from repro.window.partition import PartitionView
+from repro.resilience.context import current_context
 
 _TREE_FANOUT = 2
 
@@ -68,7 +69,9 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
                 p = int(pos[j])
                 out[row] = infer_scalar(values[p]) if validity[p] else None
         return out
+    ctx = current_context()
     for row in range(part.n):
+        ctx.tick(row)
         if not in_range[row]:
             continue
         ranges = inputs.row_pieces_f(row)

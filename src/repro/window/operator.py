@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import FrameError, WindowFunctionError
+from repro.resilience.context import current_context
 from repro.sortutil import SortColumn, sorted_equal_runs, stable_argsort
 from repro.table.column import Column, DataType
 from repro.table.schema import Field, Schema
@@ -126,7 +127,12 @@ def _evaluate_group(table: Table, spec: WindowSpec,
     boundaries = np.flatnonzero(
         np.r_[True, partition_ids[1:] != partition_ids[:-1]])
     starts = list(boundaries) + [n]
+    ctx = current_context()
     for p in range(len(starts) - 1):
+        # Partition boundaries are the operator's batch boundaries: an
+        # expired deadline or cancellation surfaces here rather than
+        # hanging through the remaining partitions.
+        ctx.checkpoint()
         rows = order[starts[p]:starts[p + 1]]
         acquirer = None
         if cache is not None:

@@ -1,0 +1,133 @@
+"""Graceful degradation: fault-injected builds vs the healthy path.
+
+The acceptance property: with every index-structure build forced to
+fail, queries must still complete — transparently downgraded to the
+baseline evaluators — with results identical to the healthy run, the
+downgrades visible in the health counters, and the session fully usable
+afterwards.
+"""
+
+import pytest
+
+from conftest import assert_columns_equal, make_window_table
+from repro import Catalog, Session
+from repro.resilience import (
+    ExecutionContext,
+    FaultInjector,
+    ResourceLimits,
+    activate,
+)
+from repro.window.calls import WindowCall
+from repro.window.frame import (
+    FrameSpec,
+    OrderItem,
+    WindowSpec,
+    current_row,
+    preceding,
+)
+from repro.window.operator import window_query
+
+TABLE = make_window_table(n=140, seed=7)
+SPEC = WindowSpec(partition_by=("g",), order_by=(OrderItem("o"),),
+                  frame=FrameSpec.rows(preceding(6), current_row()))
+
+#: One call per function family (every family the engine evaluates).
+CALLS = {
+    "sum_distinct": dict(function="sum", args=["x"], distinct=True),
+    "count_distinct": dict(function="count", args=["x"], distinct=True),
+    "sum": dict(function="sum", args=["y"]),
+    "min": dict(function="min", args=["x"]),
+    "percentile_disc": dict(function="percentile_disc", args=["x"],
+                            fraction=0.25),
+    "median": dict(function="median", args=["y"]),
+    "rank": dict(function="rank", order_by=(OrderItem("x"),)),
+    "dense_rank": dict(function="dense_rank", order_by=(OrderItem("x"),)),
+    "mode": dict(function="mode", args=["x"]),
+    "first_value": dict(function="first_value", args=["y"],
+                        order_by=(OrderItem("x"),)),
+    "lead": dict(function="lead", args=["y"], offset=2,
+                 order_by=(OrderItem("x"),)),
+}
+
+
+def _run(kwargs, faults=None):
+    call = WindowCall(kwargs["function"],
+                      kwargs.get("args", []),
+                      **{k: v for k, v in kwargs.items()
+                         if k not in ("function", "args")})
+    ctx = ExecutionContext(faults=faults)
+    with activate(ctx):
+        result = window_query(TABLE, [call], SPEC)
+    return result.columns[-1].to_list(), ctx.health
+
+
+@pytest.mark.parametrize("name", sorted(CALLS))
+def test_forced_fallback_matches_healthy_path(name):
+    healthy, healthy_health = _run(CALLS[name])
+    faults = FaultInjector().plan("structure.build", times=-1)
+    degraded, degraded_health = _run(CALLS[name], faults=faults)
+    assert_columns_equal(degraded, healthy)
+    assert healthy_health.fallbacks == 0
+    if faults.fired("structure.build"):
+        # Families that build structures must record their downgrade.
+        assert degraded_health.fallbacks > 0
+        assert any("-> naive" in entry
+                   for entry in degraded_health.downgrades)
+
+
+def test_structure_byte_limit_degrades_instead_of_failing():
+    healthy, _ = _run(CALLS["count_distinct"])
+    call = WindowCall("count", ["x"], distinct=True)
+    ctx = ExecutionContext(limits=ResourceLimits(max_structure_bytes=1))
+    with activate(ctx):
+        result = window_query(TABLE, [call], SPEC)
+    assert_columns_equal(result.columns[-1].to_list(), healthy)
+    assert ctx.health.fallbacks > 0
+    assert ctx.health.limit_hits > 0
+
+
+def test_session_survives_fault_storm_and_recovers():
+    catalog = Catalog({"t": TABLE})
+    sql = """
+        select g, count(distinct x) over w as uniq,
+               percentile_disc(0.5, order by x) over w as med,
+               rank(order by y desc) over w as rnk
+        from t
+        window w as (partition by g order by o
+                     rows between 20 preceding and current row)
+    """
+    with Session(catalog) as healthy_session:
+        expected = healthy_session.execute(sql)
+
+    faults = FaultInjector().plan("structure.build", times=-1)
+    with Session(catalog, faults=faults) as session:
+        degraded = session.execute(sql)
+        for name in expected.schema.names():
+            assert_columns_equal(degraded.column(name).to_list(),
+                                 expected.column(name).to_list())
+        assert session.health_stats().fallbacks > 0
+
+        # Heal the faults: the same session must return to the indexed
+        # path (structures build and the cache records misses/hits).
+        faults.clear()
+        recovered = session.execute(sql)
+        for name in expected.schema.names():
+            assert_columns_equal(recovered.column(name).to_list(),
+                                 expected.column(name).to_list())
+        before = session.cache_stats().misses
+        assert before > 0
+        again = session.execute(sql)
+        for name in expected.schema.names():
+            assert_columns_equal(again.column(name).to_list(),
+                                 expected.column(name).to_list())
+        assert session.cache_stats().hits > 0
+
+
+def test_intermittent_build_fault_single_downgrade():
+    # Only the first build fails; later calls use real structures, and
+    # exactly the affected call degrades.
+    faults = FaultInjector().plan("structure.build", times=1)
+    healthy, _ = _run(CALLS["count_distinct"])
+    degraded, health = _run(CALLS["count_distinct"], faults=faults)
+    assert_columns_equal(degraded, healthy)
+    assert health.fallbacks == faults.fired("structure.build") == 1
