@@ -17,8 +17,15 @@ reloads instead of rebuilding. The I/O path is hardened:
   mismatches raise :class:`~repro.errors.SpillCorruptionError`, which
   the cache answers by rebuilding from source data;
 * **bounded retries** — transient ``OSError`` on write or read is
-  retried with exponential backoff (corruption is deterministic and is
-  *not* retried);
+  retried with exponential backoff on the active query's pluggable
+  clock; retries abort early when the next sleep would outlive the
+  query's deadline (corruption is deterministic and is *not* retried);
+* **circuit breakers** — when the active
+  :class:`~repro.resilience.context.ExecutionContext` carries a breaker
+  registry, ``spill.write`` / ``spill.read`` breakers fail persistent
+  I/O trouble fast with :class:`~repro.errors.CircuitOpenError`; the
+  cache degrades (drop instead of spill, rebuild instead of reload)
+  rather than queueing every query behind a dead disk;
 * **orphan sweeping** — spill files are named ``repro-spill-*.npz``;
   when a caller-provided directory is first opened, leftover spill and
   temp files from a previous (possibly crashed) process are removed.
@@ -44,13 +51,13 @@ import glob
 import os
 import shutil
 import tempfile
-import time
 import uuid
 import zlib
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import SpillCorruptionError
 from repro.resilience.context import current_context
+from repro.resilience.guard import breaker_allow, breaker_failure
 
 _SPILL_PREFIX = "repro-spill-"
 
@@ -103,8 +110,10 @@ class SpillManager:
 
     ``max_retries`` bounds *additional* attempts after the first for
     transient I/O errors; ``backoff`` is the initial sleep between
-    attempts (doubled each retry) and ``sleep`` is injectable so tests
-    and simulated clocks never block.
+    attempts (doubled each retry). Backoff sleeps run on the active
+    query's pluggable clock — a simulated clock completes them
+    instantly while still "taking" simulated time — unless ``sleep``
+    overrides them outright.
     """
 
     def __init__(self, directory: Optional[str] = None,
@@ -116,7 +125,7 @@ class SpillManager:
         self.bytes_written = 0
         self.max_retries = max_retries
         self.backoff = backoff
-        self._sleep = sleep if sleep is not None else time.sleep
+        self._sleep = sleep
         self._checksums: Dict[str, int] = {}
         self.retries = 0       # transient-I/O retry attempts taken
         self.orphans_swept = 0
@@ -151,6 +160,11 @@ class SpillManager:
         if not can_spill(structure):
             raise ValueError(
                 f"{type(structure).__name__} cannot be spilled to disk")
+        ctx = current_context()
+        breaker = ctx.breaker("spill.write")
+        # Open breaker: fail fast with CircuitOpenError; the cache
+        # degrades the eviction to a drop.
+        breaker_allow(ctx, breaker)
         name = f"{_SPILL_PREFIX}{uuid.uuid4().hex}"
         path = os.path.join(self.directory, f"{name}.npz")
         # numpy appends ".npz" to foreign suffixes, so the temp file must
@@ -171,7 +185,15 @@ class SpillManager:
                     pass
                 raise
 
-        self._with_retries(write_once)
+        try:
+            self._with_retries(write_once)
+        except OSError:
+            # Retries exhausted (or abandoned for the deadline): one
+            # persistent-failure strike against the write breaker.
+            breaker_failure(ctx, breaker)
+            raise
+        if breaker is not None:
+            breaker.record_success()
         self.bytes_written += os.path.getsize(path)
         return path, structure.aggregate_spec
 
@@ -184,6 +206,11 @@ class SpillManager:
         for checksum mismatches or undecodable files (not retried) and
         ``OSError`` when transient reads kept failing."""
         from repro.mst.persist import load_tree
+
+        ctx = current_context()
+        breaker = ctx.breaker("spill.read")
+        # Open breaker: fail fast; the cache rebuilds from source.
+        breaker_allow(ctx, breaker)
 
         def read_once():
             current_context().fire("spill.read")
@@ -204,12 +231,29 @@ class SpillManager:
                     f"spill file {os.path.basename(path)!r} could not be "
                     f"decoded: {type(exc).__name__}: {exc}") from exc
 
-        tree = self._with_retries(read_once)
+        try:
+            tree = self._with_retries(read_once)
+        except SpillCorruptionError:
+            # Deterministic per-file damage, not a sign the disk is
+            # down — the cache rebuilds; no breaker strike.
+            raise
+        except OSError:
+            breaker_failure(ctx, breaker)
+            raise
+        if breaker is not None:
+            breaker.record_success()
         tree.aggregate_spec = meta
         return tree
 
     def _with_retries(self, operation: Callable[[], Any]) -> Any:
-        """Run ``operation``, retrying transient OSError with backoff."""
+        """Run ``operation``, retrying transient OSError with backoff.
+
+        Sleeps on the active context's clock (or the injected ``sleep``
+        override) and gives up retrying — re-raising the I/O error —
+        when the next backoff sleep would already outlive the query's
+        deadline; a checkpoint after each sleep surfaces cancellation
+        mid-backoff."""
+        ctx = current_context()
         delay = self.backoff
         attempt = 0
         while True:
@@ -220,10 +264,20 @@ class SpillManager:
             except OSError:
                 if attempt >= self.max_retries:
                     raise
+                remaining = ctx.remaining()
+                if remaining is not None and delay >= remaining:
+                    # The backoff sleep alone would blow the deadline;
+                    # surface the I/O failure now instead of timing
+                    # out inside a sleep.
+                    raise
                 attempt += 1
                 self.retries += 1
-                current_context().record_retry()
-                self._sleep(delay)
+                ctx.record_retry()
+                if self._sleep is not None:
+                    self._sleep(delay)
+                else:
+                    ctx.clock.sleep(delay)
+                ctx.checkpoint()
                 delay *= 2
 
     # ------------------------------------------------------------------

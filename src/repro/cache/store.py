@@ -28,8 +28,13 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.cache.budget import MemoryBudget, structure_bytes
 from repro.cache.spill import SpillManager, can_spill
-from repro.errors import SpillCorruptionError
+from repro.errors import (
+    CircuitOpenError,
+    SpillCorruptionError,
+    VerificationError,
+)
 from repro.resilience.context import current_context
+from repro.resilience.verify import verify_structure
 
 #: Residual charge for a spilled entry: key + path bookkeeping, not data.
 _SPILLED_RESIDUAL_BYTES = 64
@@ -47,6 +52,9 @@ class CacheStats:
     corruptions: int = 0      # spilled entries that failed reload
     spill_failures: int = 0   # evictions degraded to drops by write errors
     spill_retries: int = 0    # transient-I/O retry attempts
+    breaker_skips: int = 0    # spills/reloads skipped by an open breaker
+    verifications: int = 0    # reload invariant checks run
+    verify_failures: int = 0  # reloads rejected by invariant checks
     bytes_in_use: int = 0
     budget_bytes: Optional[int] = None
     entries: int = 0
@@ -68,6 +76,10 @@ class CacheStats:
                 f"corruptions={self.corruptions} "
                 f"spill_failures={self.spill_failures} "
                 f"spill_retries={self.spill_retries}")
+        if self.breaker_skips or self.verify_failures:
+            lines.append(
+                f"breaker_skips={self.breaker_skips} "
+                f"verify_failures={self.verify_failures}")
         return lines
 
 
@@ -96,13 +108,17 @@ class StructureCache:
     def __init__(self, budget_bytes: Optional[int] = None,
                  spill_dir: Optional[str] = None, spill: bool = True,
                  spill_retries: int = 2, spill_backoff: float = 0.01,
-                 spill_sleep=None) -> None:
+                 spill_sleep=None, verify_reload: bool = True) -> None:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         self._budget = MemoryBudget(budget_bytes)
         self._spill_enabled = spill
         self._spill = SpillManager(spill_dir, max_retries=spill_retries,
                                    backoff=spill_backoff, sleep=spill_sleep)
+        #: Run structural invariants on every reload: a bit-flip that
+        #: survived the CRC (or a decoder bug) is caught at the trust
+        #: boundary and answered by a rebuild, not a wrong result.
+        self._verify_reload = verify_reload
         self._stats = CacheStats(budget_bytes=budget_bytes)
 
     # ------------------------------------------------------------------
@@ -126,14 +142,39 @@ class StructureCache:
             entry = self._entries.get(key)
             if entry is not None and entry.spilled:
                 self._entries.move_to_end(key)
+                ctx = current_context()
                 try:
+                    # The fault site is inside the try so an injected
+                    # OSError rides the same rebuild path a real one
+                    # would.
+                    ctx.fire("cache.reload")
                     entry.structure = self._spill.load(entry.spill_path,
                                                        entry.spill_meta)
-                except (SpillCorruptionError, OSError):
+                    if self._verify_reload:
+                        self._stats.verifications += 1
+                        try:
+                            verify_structure(entry.structure)
+                        except VerificationError:
+                            self._stats.verify_failures += 1
+                            ctx.record_verification(failed=True)
+                            entry.structure = None
+                            raise
+                        ctx.record_verification()
+                except (SpillCorruptionError, OSError,
+                        VerificationError):
                     # Rebuild-on-corruption: drop the poisoned slot and
                     # fall through to the build path below.
                     self._stats.corruptions += 1
-                    current_context().record_corruption()
+                    ctx.record_corruption()
+                    self._spill.discard(entry.spill_path)
+                    self._budget.release(entry.nbytes)
+                    del self._entries[key]
+                    entry = None
+                except CircuitOpenError:
+                    # The spill.read breaker is open: skip the disk
+                    # entirely and rebuild from source. Keep counters
+                    # honest — this is degradation, not corruption.
+                    self._stats.breaker_skips += 1
                     self._spill.discard(entry.spill_path)
                     self._budget.release(entry.nbytes)
                     del self._entries[key]
@@ -217,12 +258,22 @@ class StructureCache:
         self._stats.evictions += 1
         if self._spill_enabled and can_spill(entry.structure):
             try:
+                # Fault site first, so an injected OSError degrades the
+                # eviction exactly like a real write failure.
+                current_context().fire("cache.evict")
                 path, meta = self._spill.spill(entry.structure)
             except OSError:
                 # Spill writes kept failing: degrade the eviction to a
                 # plain drop rather than failing the unrelated acquire
                 # that triggered it. The structure rebuilds on next use.
                 self._stats.spill_failures += 1
+                self._budget.release(entry.nbytes)
+                del self._entries[entry.key]
+                return
+            except CircuitOpenError:
+                # The spill.write breaker is open: drop instead of
+                # queueing this eviction behind a dead disk.
+                self._stats.breaker_skips += 1
                 self._budget.release(entry.nbytes)
                 del self._entries[entry.key]
                 return
@@ -253,6 +304,9 @@ class StructureCache:
                 corruptions=self._stats.corruptions,
                 spill_failures=self._stats.spill_failures,
                 spill_retries=self._spill.retries,
+                breaker_skips=self._stats.breaker_skips,
+                verifications=self._stats.verifications,
+                verify_failures=self._stats.verify_failures,
                 bytes_in_use=self._budget.used,
                 budget_bytes=self._budget.total,
                 entries=len(self._entries),

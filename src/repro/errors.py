@@ -100,6 +100,46 @@ class ResourceLimitError(ResilienceError):
     """A per-query resource limit (rows, structure bytes) was exceeded."""
 
 
+class QueryRejectedError(ResilienceError):
+    """The admission gateway shed this query instead of running it.
+
+    Raised when a priority class's wait queue is saturated, or when the
+    bounded queue wait elapsed before a concurrency slot freed up. The
+    query never started executing, so retrying later is always safe."""
+
+    def __init__(self, message: str, priority: str = "interactive") -> None:
+        super().__init__(message)
+        self.priority = priority
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open for the named resource.
+
+    Raised *instead of* attempting the protected operation (a structure
+    build, a spill write or read) after repeated failures tripped the
+    breaker. Callers treat it like the underlying failure it stands in
+    for: structure builds degrade to the baseline evaluator, spill
+    writes degrade evictions to drops, spill reads rebuild from source.
+    """
+
+    def __init__(self, resource: str, retry_after: float = 0.0) -> None:
+        super().__init__(
+            f"circuit breaker for {resource!r} is open "
+            f"(retry after {retry_after:.3g}s)")
+        self.resource = resource
+        self.retry_after = retry_after
+
+
+class VerificationError(ResilienceError):
+    """A structure or result failed self-verification.
+
+    Raised when a reloaded index structure violates its structural
+    invariants (and could not be rebuilt), or when sampled shadow
+    verification finds the fast evaluator diverging from the naive
+    oracle. Signals silent corruption — never retried, always surfaced.
+    """
+
+
 class StructureBuildError(ResilienceError):
     """An index-structure build failed; carries the structure kind.
 

@@ -338,3 +338,106 @@ class MergeSortTree:
     def count_qualifying(self, key_ranges: KeyRanges) -> int:
         """Total entries whose key falls in ``key_ranges``."""
         return self.count([(0, self.n)], key_ranges)
+
+    # ------------------------------------------------------------------
+    # self-verification
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate the structural invariants every query relies on.
+
+        Cheap, fully vectorised checks (O(n) per level, no per-entry
+        Python loop) intended for the cache/spill reload path: a tree
+        that deserialised without error can still be silently wrong,
+        and a wrong tree answers every count/select/aggregate wrong.
+        Raises ``ValueError`` naming the first violated invariant.
+
+        Checked: equal level lengths; run-sortedness of every level;
+        multiset equality between the input level and the fully sorted
+        top level; cascading bridge rows in range and consistent with
+        their sampled positions; prefix-aggregate annotation shape and
+        (where the aggregate's semantics pin it down) monotonicity.
+        """
+        levels = self.levels
+        n = levels.n
+        if n == 0:
+            return
+        positions = np.arange(n, dtype=np.int64)
+        for level, keys in enumerate(levels.keys):
+            if len(keys) != n:
+                raise ValueError(
+                    f"level {level} has {len(keys)} entries, expected {n}")
+            if level == 0 or n < 2:
+                continue
+            run = levels.run_length(level)
+            interior = (positions[1:] % run) != 0
+            descending = keys[1:] < keys[:-1]
+            if bool(np.any(interior & descending)):
+                where = int(np.flatnonzero(interior & descending)[0]) + 1
+                raise ValueError(
+                    f"level {level} not sorted within its runs of {run} "
+                    f"(first violation at position {where})")
+        if levels.height > 1:
+            top = levels.keys[-1]
+            if not np.array_equal(np.sort(levels.keys[0]), top):
+                raise ValueError(
+                    "top level is not a permutation of the input level")
+        for level in range(1, levels.height):
+            self._check_bridge(level, positions)
+        self._check_agg_prefix(positions)
+
+    def _check_bridge(self, level: int, positions: np.ndarray) -> None:
+        levels = self.levels
+        bridge = levels.bridges[level]
+        if bridge is None:
+            return
+        n = levels.n
+        parent_len = levels.run_length(level)
+        child_len = parent_len // self.fanout
+        sampled = positions[(positions % parent_len) % self.sample_every == 0]
+        if bridge.shape != (len(sampled), self.fanout):
+            raise ValueError(
+                f"level {level} bridge has shape {bridge.shape}, expected "
+                f"({len(sampled)}, {self.fanout})")
+        if bool((bridge < 0).any()) or bool((bridge > child_len).any()):
+            raise ValueError(
+                f"level {level} bridge pointer outside [0, {child_len}]")
+        # Each row's per-child consumed counts must sum to the sampled
+        # output position's offset inside its slab.
+        offsets = sampled - (sampled // parent_len) * parent_len
+        if not np.array_equal(bridge.sum(axis=1, dtype=np.int64), offsets):
+            raise ValueError(
+                f"level {level} bridge rows inconsistent with their "
+                f"sampled positions")
+
+    def _check_agg_prefix(self, positions: np.ndarray) -> None:
+        levels = self.levels
+        spec = self.aggregate_spec
+        n = levels.n
+        for level, prefix in enumerate(levels.agg_prefix):
+            if len(prefix) != n:
+                raise ValueError(
+                    f"level {level} aggregate prefix has {len(prefix)} "
+                    f"entries, expected {n}")
+            if not isinstance(prefix, np.ndarray) or spec is None:
+                continue
+            if np.issubdtype(prefix.dtype, np.floating) and \
+                    bool(np.isnan(prefix).any()):
+                raise ValueError(
+                    f"level {level} aggregate prefix contains NaN")
+            run = levels.run_length(level)
+            run_offset = positions - (positions // run) * run
+            if spec.name == "count":
+                if not np.array_equal(prefix, run_offset + 1):
+                    raise ValueError(
+                        f"level {level} count prefix is not the run "
+                        f"position sequence")
+            elif spec.name in ("min", "max") and n >= 2:
+                interior = run_offset[1:] != 0
+                if spec.name == "max":
+                    bad = interior & (prefix[1:] < prefix[:-1])
+                else:
+                    bad = interior & (prefix[1:] > prefix[:-1])
+                if bool(np.any(bad)):
+                    raise ValueError(
+                        f"level {level} {spec.name} prefix is not "
+                        f"monotone within its runs")

@@ -241,14 +241,36 @@ class CountedBTree:
         yield from self._iterate(node.children[-1])
 
     def check_invariants(self) -> None:
-        """Validate size caches and key ordering (used by tests)."""
+        """Validate size caches, key ordering and leaf depth.
+
+        Used by tests and by the resilience layer's
+        :func:`~repro.resilience.verify.verify_structure`: per-node key
+        sortedness and child counts, recursively validated subtree size
+        caches, uniform leaf depth (B-trees are perfectly balanced),
+        and global sortedness of the full in-order traversal —
+        cross-node ordering a corrupted separator key would break even
+        when every node is locally sorted.
+        """
+        leaf_depths = set()
+
         def visit(node: _Node, depth: int) -> int:
             assert node.keys == sorted(node.keys)
             expected = len(node.keys)
-            if not node.is_leaf:
+            if node.is_leaf:
+                leaf_depths.add(depth)
+            else:
                 assert len(node.children) == len(node.keys) + 1
                 for child in node.children:
                     expected += visit(child, depth + 1)
             assert node.size == expected, (node.size, expected)
             return expected
-        visit(self.root, 0)
+
+        total = visit(self.root, 0)
+        assert total == len(self), (total, len(self))
+        assert len(leaf_depths) <= 1, \
+            f"leaves at unequal depths {sorted(leaf_depths)}"
+        previous = None
+        for key in self:
+            assert previous is None or not key < previous, \
+                "in-order traversal is not sorted"
+            previous = key

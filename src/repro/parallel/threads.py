@@ -40,9 +40,10 @@ def _run_tasks(worker: Callable[[int, int], Any],
     not-yet-started task is cancelled; tasks already running are drained
     and *all* their failures are attached to the raised
     :class:`~repro.errors.ParallelExecutionError` (``failures``
-    attribute, deterministic slice order). Deadline expiry and
-    cancellation propagate as their own typed errors instead of being
-    wrapped."""
+    attribute, sorted by ``(lo, hi)`` task slice so error reports are
+    identical run to run regardless of thread scheduling). Deadline
+    expiry and cancellation propagate as their own typed errors instead
+    of being wrapped."""
     ctx = current_context()
 
     def guarded(lo: int, hi: int) -> Any:
@@ -79,6 +80,11 @@ def _run_tasks(worker: Callable[[int, int], Any],
         for exc in failures:
             if isinstance(exc, ResilienceError):
                 raise exc
+        # Thread completion order is nondeterministic; slice order is
+        # not. Sort so the primary error and the ``failures`` list are
+        # stable across runs.
+        failures.sort(key=lambda e: (getattr(e, "lo", -1),
+                                     getattr(e, "hi", -1)))
         primary = failures[0]
         if isinstance(primary, ParallelExecutionError):
             raise ParallelExecutionError(

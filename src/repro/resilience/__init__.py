@@ -22,27 +22,53 @@ from repro.resilience.context import (
     activate,
     current_context,
 )
+from repro.resilience.circuit import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerRegistry,
+    BreakerStats,
+    CircuitBreaker,
+)
 from repro.resilience.faults import NO_FAULTS, FaultInjector
+from repro.resilience.gateway import PRIORITIES, GatewayStats, QueryGateway
 from repro.resilience.guard import (
     FALLBACK_ERRORS,
     fallback_call,
     guarded_builder,
 )
+from repro.resilience.verify import (
+    compare_results,
+    values_match,
+    verify_structure,
+)
 
 __all__ = [
     "AMBIENT",
+    "BreakerRegistry",
+    "BreakerStats",
+    "CLOSED",
     "CancellationToken",
+    "CircuitBreaker",
     "ExecutionContext",
     "FALLBACK_ERRORS",
     "FaultInjector",
+    "GatewayStats",
+    "HALF_OPEN",
     "HealthCounters",
     "NO_FAULTS",
     "NO_LIMITS",
+    "OPEN",
+    "PRIORITIES",
+    "QueryGateway",
     "ResourceLimits",
     "SimulatedClock",
     "SystemClock",
     "activate",
+    "compare_results",
     "current_context",
     "fallback_call",
     "guarded_builder",
+    "values_match",
+    "verify_structure",
 ]

@@ -115,6 +115,13 @@ class HealthCounters:
     faults: int = 0           # injected faults that actually fired
     corruptions: int = 0      # spilled structures that failed validation
     limit_hits: int = 0       # resource-limit violations
+    admitted: int = 0         # queries admitted through the gateway
+    queue_waits: int = 0      # admissions that had to park in a queue
+    shed: int = 0             # gateway rejections (queue full / timed out)
+    breaker_trips: int = 0          # circuit breakers tripped open
+    breaker_short_circuits: int = 0  # calls rejected by an open breaker
+    verifications: int = 0          # structural + shadow checks run
+    verification_failures: int = 0  # checks that found divergence
     downgrades: List[str] = field(default_factory=list)
 
     def merge(self, other: "HealthCounters") -> None:
@@ -125,9 +132,30 @@ class HealthCounters:
         self.faults += other.faults
         self.corruptions += other.corruptions
         self.limit_hits += other.limit_hits
+        self.admitted += other.admitted
+        self.queue_waits += other.queue_waits
+        self.shed += other.shed
+        self.breaker_trips += other.breaker_trips
+        self.breaker_short_circuits += other.breaker_short_circuits
+        self.verifications += other.verifications
+        self.verification_failures += other.verification_failures
         for entry in other.downgrades:
             if entry not in self.downgrades:
                 self.downgrades.append(entry)
+
+    @property
+    def eventful(self) -> bool:
+        """Whether anything worth showing happened.
+
+        Routine admissions (``admitted`` / ``queue_waits`` /
+        ``verifications``) are excluded: a healthy session that merely
+        ran queries through the gateway stays quiet in ``EXPLAIN``.
+        """
+        return bool(self.timeouts or self.cancellations or self.retries
+                    or self.fallbacks or self.faults or self.corruptions
+                    or self.limit_hits or self.shed or self.breaker_trips
+                    or self.breaker_short_circuits
+                    or self.verification_failures)
 
     def render(self) -> List[str]:
         """Human-readable lines for ``EXPLAIN`` / session stats."""
@@ -137,6 +165,18 @@ class HealthCounters:
             f"faults={self.faults} corruptions={self.corruptions} "
             f"limit_hits={self.limit_hits}",
         ]
+        if self.admitted or self.shed or self.queue_waits:
+            lines.append(
+                f"admitted={self.admitted} queue_waits={self.queue_waits} "
+                f"shed={self.shed}")
+        if self.breaker_trips or self.breaker_short_circuits:
+            lines.append(
+                f"breaker_trips={self.breaker_trips} "
+                f"breaker_short_circuits={self.breaker_short_circuits}")
+        if self.verifications or self.verification_failures:
+            lines.append(
+                f"verifications={self.verifications} "
+                f"verification_failures={self.verification_failures}")
         for entry in self.downgrades:
             lines.append(f"fallback: {entry}")
         return lines
@@ -154,7 +194,10 @@ class ExecutionContext:
                  token: Optional[CancellationToken] = None,
                  limits: Optional[ResourceLimits] = None,
                  faults: Optional[FaultInjector] = None,
-                 clock: Optional[SystemClock] = None) -> None:
+                 clock: Optional[SystemClock] = None,
+                 breakers=None,
+                 verify_rate: float = 0.0,
+                 verify_seed: int = 0) -> None:
         self.clock = clock if clock is not None else SystemClock()
         if deadline is None and timeout is not None:
             deadline = self.clock.monotonic() + timeout
@@ -162,6 +205,17 @@ class ExecutionContext:
         self.token = token
         self.limits = limits if limits is not None else NO_LIMITS
         self.faults = faults if faults is not None else NO_FAULTS
+        #: Session-wide circuit breakers (a
+        #: :class:`~repro.resilience.circuit.BreakerRegistry`), or None
+        #: when the query runs unprotected.
+        self.breakers = breakers
+        if not 0.0 <= verify_rate <= 1.0:
+            raise ValueError("verify_rate must be in [0, 1]")
+        #: Fraction of partitions shadow-verified against the naive
+        #: oracle (0 disables; the disabled path is one attribute test).
+        self.verify_rate = verify_rate
+        self.verify_seed = verify_seed
+        self._verify_counter = 0
         self.health = HealthCounters()
         self._refresh_armed()
 
@@ -241,6 +295,39 @@ class ExecutionContext:
 
     def record_corruption(self) -> None:
         self.health.corruptions += 1
+
+    # ------------------------------------------------------------------
+    # circuit breakers and verification
+    # ------------------------------------------------------------------
+    def breaker(self, name: str):
+        """The session's breaker for ``name``, or None when unwired."""
+        if self.breakers is None:
+            return None
+        return self.breakers.get(name)
+
+    def shadow_sample(self) -> bool:
+        """Deterministically decide whether to shadow-verify this call.
+
+        Hashes ``(verify_seed, running counter)`` into [0, 1) and
+        compares against ``verify_rate``, so the same session re-run
+        samples the same partitions — a divergence found once is found
+        every run. At rate 0 this is a single comparison.
+        """
+        if self.verify_rate <= 0.0:
+            return False
+        counter = self._verify_counter
+        self._verify_counter += 1
+        if self.verify_rate >= 1.0:
+            return True
+        mixed = ((self.verify_seed * 1_000_003 + counter)
+                 * 2_654_435_761) % (2 ** 32)
+        return mixed / 2 ** 32 < self.verify_rate
+
+    def record_verification(self, failed: bool = False) -> None:
+        """Count one structural or shadow check (and its outcome)."""
+        self.health.verifications += 1
+        if failed:
+            self.health.verification_failures += 1
 
 
 #: Process-wide fallback context: no deadline, no token, no limits.

@@ -17,7 +17,17 @@ Sites currently wired into the engine:
 * ``structure.build`` — around every index-structure build routed
   through :meth:`repro.window.evaluators.common.CallInput.structure`;
 * ``parallel.worker`` — at the start of every thread-pool task in
-  :mod:`repro.parallel.threads`.
+  :mod:`repro.parallel.threads`;
+* ``cache.evict``    — at the start of every structure-cache eviction
+  (:meth:`repro.cache.store.StructureCache._evict`), before the spill
+  write;
+* ``cache.reload``   — at the start of every cache reload from the
+  spill directory, before the spill read;
+* ``gateway.admit``  — on every admission attempt at the
+  :class:`~repro.resilience.gateway.QueryGateway`;
+* ``circuit.probe``  — on every half-open probe a
+  :class:`~repro.resilience.circuit.CircuitBreaker` admits, so tests
+  can fail the recovery path deterministically.
 
 The injector is carried by the active
 :class:`~repro.resilience.context.ExecutionContext`; code under test
@@ -120,4 +130,5 @@ NO_FAULTS = FaultInjector()
 def sites() -> List[str]:
     """The site names wired into the engine (for docs and validation)."""
     return ["spill.write", "spill.read", "structure.build",
-            "parallel.worker"]
+            "parallel.worker", "cache.evict", "cache.reload",
+            "gateway.admit", "circuit.probe"]

@@ -1,0 +1,100 @@
+"""Structural self-verification and shadow-result comparison.
+
+Two complementary defences against *silent* corruption — the failure
+mode the rest of the resilience layer cannot see, because nothing
+raises:
+
+* :func:`verify_structure` runs a structure's cheap structural
+  invariants (run-sortedness per merge-sort-tree level, cascading
+  bridge pointers in range, prefix-aggregate monotonicity; segment-tree
+  level recomputation; order-statistic-tree size caches and key order).
+  The cache calls it whenever a structure crosses a trust boundary — a
+  reload from the spill directory — so a bit-flip that survived the
+  CRC, or a decoder bug, surfaces as a typed
+  :class:`~repro.errors.VerificationError` instead of a wrong answer.
+
+* :func:`compare_results` backs *sampled shadow verification*: the
+  evaluator dispatch re-answers a configurable fraction of partitions
+  with the naive oracle and diffs the rows. Sampling is deterministic
+  (see ``ExecutionContext.shadow_sample``), so a divergence found once
+  is found every run.
+
+Both report through the context's
+:class:`~repro.resilience.context.HealthCounters` at the call sites;
+this module is pure checking logic with no counter side effects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+
+#: Relative/absolute tolerance for float shadow comparison; summation
+#: order differs between the tree evaluators and the naive oracle, so
+#: exact equality would false-positive on ordinary float drift.
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+def verify_structure(structure: Any) -> None:
+    """Run ``structure``'s structural invariants, if it has any.
+
+    Dispatches on a ``check_invariants()`` method (the merge-sort tree,
+    segment tree and counted B-tree all provide one); structures
+    without invariants pass silently, so the verifier is safe to call
+    on anything the cache may hold. ``AssertionError`` / ``ValueError``
+    from the checker are translated into
+    :class:`~repro.errors.VerificationError` with the structure kind in
+    the message.
+    """
+    checker = getattr(structure, "check_invariants", None)
+    if checker is None:
+        return
+    try:
+        checker()
+    except (AssertionError, ValueError) as exc:
+        detail = str(exc) or type(exc).__name__
+        raise VerificationError(
+            f"structural invariant violated in "
+            f"{type(structure).__name__}: {detail}") from exc
+
+
+def values_match(fast: Any, naive: Any) -> bool:
+    """One output cell from the fast evaluator vs. the naive oracle.
+
+    ``None`` (SQL NULL) only matches ``None``; floats match within
+    :data:`REL_TOL`/:data:`ABS_TOL` and NaN matches NaN (a NaN result
+    means every input in the frame was NaN, which both evaluators
+    agree on); everything else uses ``==``.
+    """
+    if fast is None or naive is None:
+        return fast is None and naive is None
+    if isinstance(fast, float) or isinstance(naive, float):
+        f = float(fast)
+        n = float(naive)
+        if math.isnan(f) or math.isnan(n):
+            return math.isnan(f) and math.isnan(n)
+        return math.isclose(f, n, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+    return bool(fast == naive)
+
+
+def compare_results(fast: Sequence[Any], naive: Sequence[Any]
+                    ) -> Optional[Tuple[int, Any, Any]]:
+    """First divergent row between two evaluator outputs, or ``None``.
+
+    Returns ``(row_index, fast_value, naive_value)`` for the first
+    mismatch; a length mismatch reports at the shorter length with the
+    missing side as ``None``.
+    """
+    limit = min(len(fast), len(naive))
+    for i in range(limit):
+        if not values_match(fast[i], naive[i]):
+            return (i, fast[i], naive[i])
+    if len(fast) != len(naive):
+        longer = fast if len(fast) > len(naive) else naive
+        if len(fast) > len(naive):
+            return (limit, longer[limit], None)
+        return (limit, None, longer[limit])
+    return None

@@ -78,6 +78,49 @@ class SegmentTree:
             level += 1
         return state
 
+    def check_invariants(self) -> None:
+        """Validate that every level merges its children exactly.
+
+        Recomputes each level from the one below with the tree's own
+        combine op (bit-identical for the numpy kinds, ``==`` for
+        generic merges) — O(n) total. Raises ``ValueError`` on the
+        first inconsistent level; used by the resilience layer's
+        cache-reload verification.
+        """
+        combine = self.merge if self.merge is not None \
+            else _VECTOR_KINDS[self.kind][0]
+        if self.levels and len(self.levels[0]) != self.n:
+            raise ValueError(
+                f"base level has {len(self.levels[0])} entries, "
+                f"expected {self.n}")
+        for level in range(1, len(self.levels)):
+            prev = self.levels[level - 1]
+            cur = self.levels[level]
+            half = len(prev) // 2
+            expected_len = half + (1 if len(prev) % 2 else 0)
+            if len(cur) != expected_len:
+                raise ValueError(
+                    f"level {level} has {len(cur)} entries, expected "
+                    f"{expected_len}")
+            if self.kind is not None:
+                merged = combine(prev[:2 * half:2], prev[1:2 * half:2])
+                ok = np.array_equal(merged, cur[:half])
+                if ok and len(prev) % 2:
+                    ok = bool(prev[-1] == cur[-1])
+                    if not ok and np.issubdtype(prev.dtype, np.floating):
+                        ok = bool(np.isnan(prev[-1])
+                                  and np.isnan(cur[-1]))
+            else:
+                merged = [combine(prev[i], prev[i + 1])
+                          for i in range(0, 2 * half, 2)]
+                if len(prev) % 2:
+                    merged.append(prev[-1])
+                ok = merged == list(cur)
+            if not ok:
+                raise ValueError(
+                    f"level {level} does not merge level {level - 1} "
+                    f"with the {self.kind or 'custom'} combine op")
+
     def batched_query(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`query` for the numpy kinds."""
         if self.kind is None:

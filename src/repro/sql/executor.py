@@ -16,6 +16,7 @@ evaluates it against a :class:`~repro.sql.catalog.Catalog`:
 from __future__ import annotations
 
 import datetime
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -214,12 +215,29 @@ class Session:
     timed out, retried spill I/O or degraded to a baseline evaluator
     leaves a visible trace.
 
+    Concurrency is governed by a session-wide
+    :class:`~repro.resilience.gateway.QueryGateway`: at most
+    ``max_concurrent`` queries execute at once, waiters park in
+    per-priority FIFO queues (``execute(priority=...)``,
+    ``interactive`` before ``batch``) bounded at ``max_queue``, and
+    arrivals beyond that are shed with a typed
+    :class:`~repro.errors.QueryRejectedError`. A session-wide
+    :class:`~repro.resilience.circuit.BreakerRegistry` protects
+    structure builds and spill I/O: after ``breaker_threshold``
+    consecutive failures the resource fails fast for ``breaker_reset``
+    seconds (degrading to the naive evaluators / drops / rebuilds)
+    before a half-open probe tests recovery. ``verify_rate`` enables
+    sampled shadow verification: that fraction of (call, partition)
+    evaluations is re-answered by the naive oracle and any divergence
+    raises :class:`~repro.errors.VerificationError`.
+
     ::
 
-        session = Session(catalog, budget_bytes=64 << 20, timeout=5.0)
+        session = Session(catalog, budget_bytes=64 << 20, timeout=5.0,
+                          max_concurrent=8, verify_rate=0.05)
         session.execute(sql)   # cold: builds trees
-        session.execute(sql)   # warm: pure probes
-        print(session.explain(sql))  # plan + cache + health counters
+        session.execute(sql, priority="batch")   # warm: pure probes
+        print(session.explain(sql))  # plan + cache + gateway + health
     """
 
     def __init__(self, catalog: Catalog, budget_bytes: Optional[int] = None,
@@ -227,42 +245,69 @@ class Session:
                  timeout: Optional[float] = None,
                  limits: Optional[ResourceLimits] = None,
                  faults: Optional[FaultInjector] = None,
-                 clock: Any = None) -> None:
+                 clock: Any = None,
+                 max_concurrent: int = 4, max_queue: int = 16,
+                 queue_timeout: Optional[float] = None,
+                 breaker_threshold: int = 5, breaker_reset: float = 30.0,
+                 verify_rate: float = 0.0, verify_seed: int = 0,
+                 verify_reload: bool = True) -> None:
         from repro.cache.store import StructureCache
+        from repro.resilience.circuit import BreakerRegistry
+        from repro.resilience.gateway import QueryGateway
         self.catalog = catalog
         self.cache = StructureCache(budget_bytes=budget_bytes,
-                                    spill_dir=spill_dir, spill=spill)
+                                    spill_dir=spill_dir, spill=spill,
+                                    verify_reload=verify_reload)
         self.default_timeout = timeout
         self.default_limits = limits
         self.faults = faults
         self.clock = clock
+        self.gateway = QueryGateway(max_concurrent=max_concurrent,
+                                    max_queue=max_queue,
+                                    queue_timeout=queue_timeout,
+                                    clock=clock)
+        self.breakers = BreakerRegistry(failure_threshold=breaker_threshold,
+                                        reset_timeout=breaker_reset,
+                                        clock=clock)
+        self.verify_rate = verify_rate
+        self.verify_seed = verify_seed
         self.health = HealthCounters()
+        self._health_lock = threading.Lock()
 
     def execute(self, sql_or_ast: Union[str, ast.SelectStmt],
                 timeout: Optional[float] = None,
                 token: Optional[CancellationToken] = None,
-                limits: Optional[ResourceLimits] = None) -> Table:
+                limits: Optional[ResourceLimits] = None,
+                priority: str = "interactive") -> Table:
         """Run one query under this session's guardrails.
 
         ``timeout``/``limits`` default to the session-wide settings;
         ``token`` allows another thread to cancel this query
-        cooperatively. The query's health counters are merged into the
-        session totals whether it succeeds or fails."""
+        cooperatively; ``priority`` selects the gateway admission class
+        (``interactive`` queries take freed slots before ``batch``
+        ones). The query's health counters are merged into the session
+        totals whether it succeeds, is shed, or fails."""
         context = ExecutionContext(
             timeout=timeout if timeout is not None else self.default_timeout,
             token=token,
             limits=limits if limits is not None else self.default_limits,
             faults=self.faults,
-            clock=self.clock)
+            clock=self.clock,
+            breakers=self.breakers,
+            verify_rate=self.verify_rate,
+            verify_seed=self.verify_seed)
         try:
-            return execute(sql_or_ast, self.catalog, cache=self.cache,
-                           context=context)
+            with self.gateway.admit(context, priority=priority):
+                return execute(sql_or_ast, self.catalog, cache=self.cache,
+                               context=context)
         finally:
-            self.health.merge(context.health)
+            with self._health_lock:
+                self.health.merge(context.health)
 
     def explain(self, sql_or_ast: Union[str, ast.SelectStmt]) -> str:
         from repro.sql.explain import explain as _explain
-        return _explain(sql_or_ast, cache=self.cache, health=self.health)
+        return _explain(sql_or_ast, cache=self.cache, health=self.health,
+                        gateway=self.gateway, breakers=self.breakers)
 
     def cache_stats(self):
         return self.cache.stats()

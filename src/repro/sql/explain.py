@@ -17,7 +17,8 @@ from repro.sql.parser import parse
 
 
 def explain(sql_or_ast: Union[str, ast.SelectStmt],
-            cache: Any = None, health: Any = None) -> str:
+            cache: Any = None, health: Any = None,
+            gateway: Any = None, breakers: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
@@ -28,10 +29,17 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
     ``health`` is an optional
     :class:`~repro.resilience.context.HealthCounters`; when any
     guardrail event has been recorded (timeout, cancellation, spill
-    retry, evaluator fallback, injected fault, corruption, limit hit) a
-    ``Resilience`` section lists the counters and each recorded
-    evaluator downgrade — so a query that silently degraded to a
-    baseline evaluator is still visible after the fact."""
+    retry, evaluator fallback, injected fault, corruption, limit hit,
+    shed query, breaker trip, verification failure) a ``Resilience``
+    section lists the counters and each recorded evaluator downgrade —
+    so a query that silently degraded to a baseline evaluator is still
+    visible after the fact.
+
+    ``gateway`` (a :class:`~repro.resilience.gateway.QueryGateway`) and
+    ``breakers`` (a :class:`~repro.resilience.circuit.BreakerRegistry`)
+    add ``Gateway`` / ``Breakers`` sections once they have seen any
+    traffic, so admission behaviour and breaker states under concurrent
+    load are observable next to the plan."""
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     lines: List[str] = []
     _render_select(stmt, lines, 0)
@@ -39,10 +47,19 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
         lines.append("StructureCache")
         for line in cache.stats().render():
             lines.append("  " + line)
-    if health is not None and (
-            health.timeouts or health.cancellations or health.retries
-            or health.fallbacks or health.faults or health.corruptions
-            or health.limit_hits or health.downgrades):
+    if gateway is not None:
+        stats = gateway.stats()
+        if stats.admitted or stats.shed or stats.active:
+            lines.append("Gateway")
+            for line in stats.render():
+                lines.append("  " + line)
+    if breakers is not None:
+        breaker_lines = breakers.render()
+        if breaker_lines:
+            lines.append("Breakers")
+            for line in breaker_lines:
+                lines.append("  " + line)
+    if health is not None and (health.eventful or health.downgrades):
         lines.append("Resilience")
         for line in health.render():
             lines.append("  " + line)

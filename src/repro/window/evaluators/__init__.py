@@ -2,7 +2,7 @@
 
 from typing import Any, List
 
-from repro.errors import WindowFunctionError
+from repro.errors import VerificationError, WindowFunctionError
 from repro.resilience.context import current_context
 from repro.resilience.guard import FALLBACK_ERRORS, fallback_call
 from repro.window.calls import WindowCall
@@ -19,15 +19,23 @@ def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
     :func:`~repro.window.operator.window_query`, direct operator use)
     gets it: when the chosen strategy fails with a
     :data:`~repro.resilience.guard.FALLBACK_ERRORS` condition — a
-    structure build error, a resource-limit hit, or a ``MemoryError`` —
-    the call is retried once with ``algorithm="naive"`` and the
-    downgrade is recorded in the active context's health counters.
-    Timeouts and cancellations always propagate.
+    structure build error, a resource-limit hit, a ``MemoryError``, or
+    an open ``structure.build`` circuit breaker — the call is retried
+    once with ``algorithm="naive"`` and the downgrade is recorded in
+    the active context's health counters. Timeouts and cancellations
+    always propagate.
+
+    When the context's ``verify_rate`` is nonzero, a deterministic
+    sample of (call, partition) evaluations is *shadow-verified*: the
+    naive oracle re-answers the same rows and any divergence raises
+    :class:`~repro.errors.VerificationError` — silent corruption is
+    never returned as a result. At rate 0 the check is a single
+    comparison.
     """
     ctx = current_context()
     ctx.checkpoint()
     try:
-        return _dispatch(call, part)
+        result = _dispatch(call, part)
     except FALLBACK_ERRORS as exc:
         fallback = fallback_call(call)
         if fallback is None:
@@ -36,6 +44,28 @@ def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
             f"{call.function}[{call.algorithm}] -> naive "
             f"({type(exc).__name__}: {exc})")
         return _dispatch(fallback, part)
+    if call.algorithm != "naive" and ctx.shadow_sample():
+        _shadow_verify(ctx, call, part, result)
+    return result
+
+
+def _shadow_verify(ctx, call: WindowCall, part: PartitionView,
+                   result: List[Any]) -> None:
+    """Re-answer ``call`` with the naive oracle and diff the rows."""
+    from repro.resilience.verify import compare_results
+
+    oracle = fallback_call(call)
+    if oracle is None:  # pragma: no cover - guarded by the caller
+        return
+    naive = _dispatch(oracle, part)
+    mismatch = compare_results(result, naive)
+    ctx.record_verification(failed=mismatch is not None)
+    if mismatch is not None:
+        row, fast, slow = mismatch
+        raise VerificationError(
+            f"shadow verification diverged for "
+            f"{call.function}[{call.algorithm}] at partition row {row}: "
+            f"fast={fast!r} naive={slow!r}")
 
 
 def _dispatch(call: WindowCall, part: PartitionView) -> List[Any]:

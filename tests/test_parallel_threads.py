@@ -48,6 +48,33 @@ def test_worker_exception_carries_task_slice(workers):
     assert isinstance(info.value, ReproError)
 
 
+@pytest.mark.parametrize("trial", range(4))
+def test_multi_failure_report_is_deterministically_ordered(trial):
+    # Every task fails, each after a different (seeded) delay, so the
+    # threads *complete* in a different order every trial — yet the
+    # collected failures must come back sorted by task slice.
+    import random
+    import time
+
+    delays = {lo: d for lo, d in
+              zip(range(0, 20, 5),
+                  random.Random(trial).sample([0.0, 0.005, 0.01, 0.02], 4))}
+
+    def worker(lo, hi):
+        time.sleep(delays[lo])
+        raise ValueError(f"boom in [{lo}, {hi})")
+
+    with pytest.raises(ParallelExecutionError) as info:
+        threaded_map(worker, 20, workers=4, task_size=5)
+    failures = info.value.failures
+    slices = [(f.lo, f.hi) for f in failures]
+    assert slices == sorted(slices)
+    assert len(failures) == 4  # all started workers were drained
+    # The primary error is the lowest slice, not the fastest thread.
+    assert (info.value.lo, info.value.hi) == (0, 5)
+    assert all(isinstance(f, ParallelExecutionError) for f in failures)
+
+
 def test_select_worker_exception_carries_task_slice(rng):
     n = 100
     perm = rng.permutation(n)

@@ -7,6 +7,8 @@ downgrades visible in the health counters, and the session fully usable
 afterwards.
 """
 
+import time
+
 import pytest
 
 from conftest import assert_columns_equal, make_window_table
@@ -99,8 +101,11 @@ def test_session_survives_fault_storm_and_recovers():
     with Session(catalog) as healthy_session:
         expected = healthy_session.execute(sql)
 
+    # The storm trips the structure.build circuit breaker; a tiny reset
+    # timeout lets the healed session recover within the test instead
+    # of failing fast for the default 30s window.
     faults = FaultInjector().plan("structure.build", times=-1)
-    with Session(catalog, faults=faults) as session:
+    with Session(catalog, faults=faults, breaker_reset=0.001) as session:
         degraded = session.execute(sql)
         for name in expected.schema.names():
             assert_columns_equal(degraded.column(name).to_list(),
@@ -110,6 +115,7 @@ def test_session_survives_fault_storm_and_recovers():
         # Heal the faults: the same session must return to the indexed
         # path (structures build and the cache records misses/hits).
         faults.clear()
+        time.sleep(0.01)  # let the breaker's reset timeout elapse
         recovered = session.execute(sql)
         for name in expected.schema.names():
             assert_columns_equal(recovered.column(name).to_list(),

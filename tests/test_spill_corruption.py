@@ -19,7 +19,14 @@ from repro.cache.store import StructureCache
 from repro.errors import SpillCorruptionError
 from repro.mst.aggregates import SUM
 from repro.mst.tree import MergeSortTree
-from repro.resilience import ExecutionContext, FaultInjector, activate
+from repro.errors import QueryCancelledError
+from repro.resilience import (
+    CancellationToken,
+    ExecutionContext,
+    FaultInjector,
+    SimulatedClock,
+    activate,
+)
 
 
 def _tree(n=257, seed=3):
@@ -112,6 +119,82 @@ def test_exhausted_write_retries_leave_no_temp_files(tmp_path):
         with pytest.raises(OSError):
             manager.spill(_tree())
     assert _spill_files(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# backoff on the pluggable clock, deadline- and cancellation-aware
+# ----------------------------------------------------------------------
+def test_backoff_sleeps_on_the_context_clock(tmp_path):
+    clock = SimulatedClock()
+    manager = SpillManager(str(tmp_path), max_retries=2, backoff=1.0)
+    faults = FaultInjector().plan("spill.write", times=2)
+    ctx = ExecutionContext(clock=clock, faults=faults)
+    with activate(ctx):
+        path, _ = manager.spill(_tree())
+    assert os.path.exists(path)
+    assert manager.retries == 2
+    # No injected sleep: the backoff ran on the simulated clock, taking
+    # 1.0 + 2.0 simulated seconds and zero real ones.
+    assert clock.monotonic() == 3.0
+
+
+def test_backoff_aborts_instead_of_outliving_the_deadline(tmp_path):
+    clock = SimulatedClock()
+    manager = SpillManager(str(tmp_path), max_retries=5, backoff=0.01)
+    faults = FaultInjector().plan("spill.write", times=-1)
+    ctx = ExecutionContext(timeout=0.005, clock=clock, faults=faults)
+    with activate(ctx):
+        with pytest.raises(OSError):
+            manager.spill(_tree())
+    # The very first backoff sleep (0.01s) would already blow the
+    # 0.005s budget: the I/O error surfaces at once, with zero retries
+    # and zero sleeping.
+    assert manager.retries == 0
+    assert ctx.health.retries == 0
+    assert clock.monotonic() == 0.0
+    assert _spill_files(tmp_path) == []
+
+
+def test_cancellation_during_write_backoff_is_typed_and_clean(tmp_path):
+    token = CancellationToken()
+    manager = SpillManager(str(tmp_path), max_retries=5, backoff=0.01,
+                           sleep=lambda _: token.cancel())
+    faults = FaultInjector().plan("spill.write", times=-1)
+    ctx = ExecutionContext(token=token, faults=faults)
+    with activate(ctx):
+        with pytest.raises(QueryCancelledError):
+            manager.spill(_tree())
+    # The abort is recorded and nothing leaks: no temp files, no final
+    # spill file, exactly the one retry whose backoff was interrupted.
+    assert ctx.health.cancellations == 1
+    assert manager.retries == 1
+    assert _spill_files(tmp_path) == []
+
+
+def test_cancellation_during_cache_reload_is_typed_and_clean(tmp_path):
+    token = CancellationToken()
+    faults = FaultInjector()
+    with StructureCache(budget_bytes=1, spill_dir=str(tmp_path),
+                        spill_sleep=lambda _: token.cancel()) as cache:
+        spilled = _fill_and_spill(cache, [("a",), ("b",)])
+        key, path = next(iter(spilled.items()))
+        faults.plan("spill.read", times=-1)
+        ctx = ExecutionContext(token=token, faults=faults)
+        with activate(ctx):
+            with pytest.raises(QueryCancelledError):
+                cache.acquire(key, lambda: _tree(seed=9), pin=False)
+        assert ctx.health.cancellations == 1
+        # An abort is an abort, not a corruption: the spill file stays
+        # intact and the entry stays spilled.
+        assert cache.stats().corruptions == 0
+        assert os.path.exists(path)
+        assert all(".tmp" not in name for name in _spill_files(tmp_path))
+        # A healthy retry serves the same entry from disk.
+        faults.clear()
+        with activate(ExecutionContext()):
+            tree = cache.acquire(key, lambda: _tree(seed=9), pin=False)
+        assert isinstance(tree, MergeSortTree)
+        assert cache.stats().reloads == 1
 
 
 # ----------------------------------------------------------------------
