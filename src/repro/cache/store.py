@@ -59,6 +59,7 @@ class CacheStats:
     budget_bytes: Optional[int] = None
     entries: int = 0
     spilled_entries: int = 0
+    pinned_entries: int = 0   # entries with pins > 0 (0 when quiescent)
 
     def render(self) -> List[str]:
         """Human-readable lines for ``EXPLAIN`` output."""
@@ -68,7 +69,8 @@ class CacheStats:
             f"hits={self.hits} misses={self.misses} "
             f"evictions={self.evictions} spills={self.spills} "
             f"reloads={self.reloads}",
-            f"entries={self.entries} ({self.spilled_entries} spilled) "
+            f"entries={self.entries} ({self.spilled_entries} spilled, "
+            f"{self.pinned_entries} pinned) "
             f"bytes={self.bytes_in_use:,} budget={budget}",
         ]
         if self.corruptions or self.spill_failures or self.spill_retries:
@@ -295,6 +297,7 @@ class StructureCache:
         """A snapshot of the counters (safe to keep after cache changes)."""
         with self._lock:
             spilled = sum(1 for e in self._entries.values() if e.spilled)
+            pinned = sum(1 for e in self._entries.values() if e.pins > 0)
             return CacheStats(
                 hits=self._stats.hits,
                 misses=self._stats.misses,
@@ -311,6 +314,7 @@ class StructureCache:
                 budget_bytes=self._budget.total,
                 entries=len(self._entries),
                 spilled_entries=spilled,
+                pinned_entries=pinned,
             )
 
     def clear(self) -> None:
@@ -343,6 +347,13 @@ class StructureAcquirer:
 
     With ``cache=None`` it degrades to calling the builder directly, so
     evaluators never branch on whether caching is enabled.
+
+    An acquirer belongs to one partition's evaluation task, but under
+    morsel scheduling that task may run on a pool thread while probe
+    fan-out touches the view from others, so the held-keys list is
+    guarded by its own small lock: acquire under the store lock, record
+    under ours, release everything exactly once from the owning task's
+    ``finally``.
     """
 
     def __init__(self, cache: Optional[StructureCache],
@@ -350,6 +361,7 @@ class StructureAcquirer:
         self._cache = cache
         self._prefix = prefix
         self._held: List[Tuple] = []
+        self._held_lock = threading.Lock()
 
     def acquire(self, kind: str, config: Tuple,
                 builder: Callable[[], Any]) -> Any:
@@ -357,12 +369,14 @@ class StructureAcquirer:
             return builder()
         key = self._prefix + (kind,) + tuple(config)
         structure = self._cache.acquire(key, builder, pin=True)
-        self._held.append(key)
+        with self._held_lock:
+            self._held.append(key)
         return structure
 
     def release_all(self) -> None:
         if self._cache is None:
             return
-        held, self._held = self._held, []
+        with self._held_lock:
+            held, self._held = self._held, []
         for key in held:
             self._cache.release(key)

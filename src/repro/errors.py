@@ -62,21 +62,57 @@ class ParallelExecutionError(ExecutionError):
     worker exception as ``__cause__``. When several workers failed before
     the pool could be drained, ``failures`` lists every collected
     per-slice error (the primary one included); otherwise it holds just
-    the primary error."""
+    the primary error.
+
+    ``failures`` is always *flat*: when pools nest (a scheduler morsel
+    task that itself fanned probes over a pool), any entry that is
+    itself a multi-failure ``ParallelExecutionError`` is expanded into
+    its per-slice leaf errors rather than kept as a wrapper around a
+    list — one exception, one flat list of worker failures."""
 
     def __init__(self, lo: int, hi: int, cause: BaseException,
                  failures: "Optional[List[ParallelExecutionError]]" = None
                  ) -> None:
+        flat = flatten_parallel_failures(failures) if failures else None
         extra = ""
-        if failures is not None and len(failures) > 1:
-            extra = f" (+{len(failures) - 1} more worker failure(s))"
+        if flat is not None and len(flat) > 1:
+            extra = f" (+{len(flat) - 1} more worker failure(s))"
         super().__init__(
             f"worker failed on task slice [{lo}, {hi}): "
             f"{type(cause).__name__}: {cause}{extra}")
         self.lo = lo
         self.hi = hi
-        self.failures: List[ParallelExecutionError] = \
-            list(failures) if failures else [self]
+        self.failures: List[BaseException] = flat if flat else [self]
+
+
+def flatten_parallel_failures(
+        failures: "List[BaseException]") -> "List[BaseException]":
+    """Flatten nested :class:`ParallelExecutionError` failure lists.
+
+    Wrapper errors (a multi-failure error whose ``failures`` holds other
+    errors) contribute their leaves; leaf errors (``failures == [self]``)
+    and non-parallel exceptions pass through. Duplicates arising from a
+    leaf being both a primary and a list member are dropped, preserving
+    first-seen order."""
+    flat: "List[BaseException]" = []
+    seen = set()
+
+    def add(exc: BaseException) -> None:
+        if isinstance(exc, ParallelExecutionError):
+            for inner in exc.failures:
+                if inner is exc:
+                    if id(inner) not in seen:
+                        seen.add(id(inner))
+                        flat.append(inner)
+                else:
+                    add(inner)
+        elif id(exc) not in seen:
+            seen.add(id(exc))
+            flat.append(exc)
+
+    for exc in failures:
+        add(exc)
+    return flat
 
 
 class ResilienceError(ExecutionError):

@@ -1,0 +1,103 @@
+"""Probe-kernel indirection: serial vs thread-fanned batched probes.
+
+The paper's intra-partition strategy (Section 5.2) shares one read-only
+merge sort tree between threads and fans the per-row probe arrays out as
+morsels. Evaluators reach the vectorised probe kernels
+(:mod:`repro.mst.vectorized`) through the :class:`ProbeKernels` handle
+on their :class:`~repro.window.partition.PartitionView` instead of
+calling them directly, so the scheduler can swap the serial kernels for
+:class:`ThreadedProbes` without the evaluators knowing: same arrays in,
+same arrays out, the only difference is which threads ran the binary
+searches.
+
+Serial is the default (:data:`SERIAL_PROBES`) and is a zero-overhead
+pass-through; :class:`ThreadedProbes` carries the session's shared
+thread pool so probe fan-out never creates executors of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mst.build import TreeLevels
+from repro.mst.vectorized import (
+    batched_aggregate,
+    batched_count,
+    batched_select,
+)
+
+
+class ProbeKernels:
+    """Serial pass-through to the vectorised probe kernels."""
+
+    #: Whether probes fan out to a thread pool (EXPLAIN reporting).
+    parallel = False
+
+    def count(self, levels: TreeLevels, lo: np.ndarray, hi: np.ndarray,
+              key_hi: np.ndarray,
+              key_lo: Optional[np.ndarray] = None) -> np.ndarray:
+        return batched_count(levels, lo, hi, key_hi, key_lo=key_lo)
+
+    def select(self, levels: TreeLevels, k: np.ndarray, key_lo: np.ndarray,
+               key_hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return batched_select(levels, k, key_lo, key_hi)
+
+    def aggregate(self, levels: TreeLevels, lo: np.ndarray, hi: np.ndarray,
+                  key_hi: np.ndarray, kind: str) -> np.ndarray:
+        return batched_aggregate(levels, lo, hi, key_hi, kind)
+
+
+#: Shared serial kernel set; stateless, safe to share between threads.
+SERIAL_PROBES = ProbeKernels()
+
+
+class ThreadedProbes(ProbeKernels):
+    """Fan per-row probe arrays out over a shared thread pool.
+
+    ``pool`` is the session's bounded executor (owned by the
+    :class:`~repro.parallel.scheduler.WindowScheduler`); probes shorter
+    than ``min_rows`` stay serial so small follow-up queries against a
+    big cached tree pay no fan-out overhead.
+    """
+
+    parallel = True
+
+    def __init__(self, pool, workers: int, task_size: int = 20_000,
+                 min_rows: int = 8_192) -> None:
+        self._pool = pool
+        self._workers = max(int(workers), 1)
+        self._task_size = max(int(task_size), 1)
+        self._min_rows = min_rows
+
+    def _serial(self, n: int) -> bool:
+        return self._workers <= 1 or n < self._min_rows
+
+    def count(self, levels: TreeLevels, lo: np.ndarray, hi: np.ndarray,
+              key_hi: np.ndarray,
+              key_lo: Optional[np.ndarray] = None) -> np.ndarray:
+        if self._serial(len(lo)):
+            return batched_count(levels, lo, hi, key_hi, key_lo=key_lo)
+        from repro.parallel.threads import threaded_batched_count
+        return threaded_batched_count(
+            levels, lo, hi, key_hi, key_lo=key_lo, workers=self._workers,
+            task_size=self._task_size, pool=self._pool)
+
+    def select(self, levels: TreeLevels, k: np.ndarray, key_lo: np.ndarray,
+               key_hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self._serial(len(k)):
+            return batched_select(levels, k, key_lo, key_hi)
+        from repro.parallel.threads import threaded_batched_select
+        return threaded_batched_select(
+            levels, k, key_lo, key_hi, workers=self._workers,
+            task_size=self._task_size, pool=self._pool)
+
+    def aggregate(self, levels: TreeLevels, lo: np.ndarray, hi: np.ndarray,
+                  key_hi: np.ndarray, kind: str) -> np.ndarray:
+        if self._serial(len(lo)):
+            return batched_aggregate(levels, lo, hi, key_hi, kind)
+        from repro.parallel.threads import threaded_batched_aggregate
+        return threaded_batched_aggregate(
+            levels, lo, hi, key_hi, kind, workers=self._workers,
+            task_size=self._task_size, pool=self._pool)

@@ -1,0 +1,344 @@
+"""Morsel-driven parallel window execution (paper Section 5).
+
+The window operator hands each group's partition layout to a
+:class:`WindowScheduler`, which classifies the workload with the
+:mod:`repro.parallel.costs` operation model and picks one of three
+strategies:
+
+* **inter-partition** — many partitions: bin-pack them into morsels
+  (LPT, largest processing time first) and run build + evaluate for
+  whole partitions on the shared pool. Structures stay partition-local,
+  so tasks share nothing but the output buffers — and those are written
+  at precomputed disjoint global positions, never by completion order,
+  so results are bit-identical to serial execution.
+* **intra-partition** — one partition dominates: build its structures
+  once on the query thread, then fan the per-row probe arrays out
+  through the threaded batched kernels
+  (:class:`~repro.parallel.probes.ThreadedProbes` over
+  ``batched_count`` / ``batched_select`` / ``batched_aggregate``),
+  sharing the tree read-only exactly as Section 5.2 describes.
+* **serial** — below a cost threshold: tiny inputs take the exact
+  pre-existing code path and pay zero overhead.
+
+The pool is **session-owned, bounded and reused across queries**: a
+:class:`~repro.sql.executor.Session` creates one scheduler
+(``Session(workers=...)`` / ``REPRO_WORKERS``) whose single
+``ThreadPoolExecutor`` is shared by every query the gateway admits.
+Admission may run ``max_concurrent`` queries at once, but their morsels
+all queue on the same ``workers`` threads — total worker threads never
+exceed ``workers``, so ``workers x max_concurrent`` oversubscription
+cannot happen by construction.
+
+Every morsel task re-activates the submitting query's
+:class:`~repro.resilience.context.ExecutionContext`, checkpoints between
+morsels (deadlines and cancellation surface within one morsel) and fires
+the ``parallel.morsel`` fault site; failures are collected fail-fast and
+flattened into one :class:`~repro.errors.ParallelExecutionError`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.parallel.costs import WindowWorkload, algorithm_tasks
+from repro.parallel.probes import SERIAL_PROBES, ProbeKernels, ThreadedProbes
+from repro.parallel.threads import _run_tasks
+
+#: Strategy names (also what EXPLAIN's Parallelism section prints).
+SERIAL = "serial"
+INTER_PARTITION = "inter-partition"
+INTRA_PARTITION = "intra-partition"
+
+#: Abstract operations (repro.parallel.costs units) below which a window
+#: group runs serially. Calibrated so sub-~5k-row groups — where Python
+#: partition bookkeeping dwarfs any numpy win — never pay fan-out.
+DEFAULT_MIN_PARALLEL_OPS = 150_000.0
+
+#: Smallest dominant partition worth intra-partition probe fan-out.
+DEFAULT_MIN_INTRA_ROWS = 16_384
+
+#: A partition holding at least this fraction of the group's rows makes
+#: inter-partition bin-packing pointless (its morsel is the makespan).
+DEFAULT_DOMINANCE = 0.5
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit ``workers`` argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "")
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(int(workers), 1)
+
+
+@dataclass
+class GroupDecision:
+    """One window group's scheduling outcome (shown by EXPLAIN)."""
+
+    strategy: str
+    workers: int = 1
+    morsels: int = 0
+    partitions: int = 0
+    rows: int = 0
+    reason: str = ""
+    #: inter-partition only: morsel -> partition indices (ascending).
+    plan: Optional[List[np.ndarray]] = None
+
+    def render(self) -> str:
+        text = (f"{self.strategy} workers={self.workers} "
+                f"partitions={self.partitions} rows={self.rows}")
+        if self.strategy == INTER_PARTITION:
+            text += f" morsels={self.morsels}"
+        if self.reason:
+            text += f" — {self.reason}"
+        return text
+
+
+@dataclass
+class ParallelStats:
+    """Scheduler counters plus the most recent group decisions."""
+
+    workers: int = 1
+    groups: int = 0
+    serial_groups: int = 0
+    inter_groups: int = 0
+    intra_groups: int = 0
+    morsels_run: int = 0
+    pool_started: bool = False
+    decisions: List[GroupDecision] = field(default_factory=list)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"workers={self.workers} pool_started={self.pool_started} "
+            f"groups={self.groups} (serial={self.serial_groups} "
+            f"inter={self.inter_groups} intra={self.intra_groups}) "
+            f"morsels_run={self.morsels_run}",
+        ]
+        for decision in self.decisions:
+            lines.append(f"group: {decision.render()}")
+        return lines
+
+
+def bin_pack(sizes: np.ndarray, bins: int) -> List[np.ndarray]:
+    """LPT bin-packing of partitions into ``bins`` morsels.
+
+    Partitions are placed largest-first onto the least-loaded bin (ties
+    broken by bin index, so the packing is deterministic); each morsel's
+    partition indices come back ascending so morsel-internal evaluation
+    order matches serial order. Empty bins are dropped."""
+    import heapq
+
+    bins = max(min(int(bins), len(sizes)), 1)
+    if bins == 1:
+        return [np.arange(len(sizes), dtype=np.int64)]
+    # Stable largest-first order: sort by (-size, index).
+    order = np.lexsort((np.arange(len(sizes)), -np.asarray(sizes)))
+    heap = [(0, b) for b in range(bins)]
+    heapq.heapify(heap)
+    assignment: List[List[int]] = [[] for _ in range(bins)]
+    for p in order:
+        load, b = heapq.heappop(heap)
+        assignment[b].append(int(p))
+        heapq.heappush(heap, (load + int(sizes[p]), b))
+    return [np.asarray(sorted(bucket), dtype=np.int64)
+            for bucket in assignment if bucket]
+
+
+def estimated_group_ops(sizes: np.ndarray, n_calls: int) -> float:
+    """Rough abstract-operation count for one window group.
+
+    Uses the merge-sort-tree model of :mod:`repro.parallel.costs` (the
+    default evaluation strategy): an O(n log n) build plus per-row
+    probes, scaled by the call count. Frame size is approximated as half
+    the mean partition — the threshold decision only needs the order of
+    magnitude, not the exact constant."""
+    n = int(np.sum(sizes))
+    if n <= 0:
+        return 0.0
+    frame = max(float(np.mean(sizes)) / 2.0, 1.0)
+    build, probes = algorithm_tasks(
+        "mst", WindowWorkload(n=n, frame_size=frame),
+        task_size=max(n, 1), serial=True)
+    return (build + sum(probes)) * max(int(n_calls), 1)
+
+
+class WindowScheduler:
+    """Strategy selection plus the shared worker pool for one session.
+
+    ``workers`` resolves through :func:`resolve_workers` (argument >
+    ``REPRO_WORKERS`` env > 1). With ``workers == 1`` every decision is
+    serial and no pool is ever created, so the scheduler costs nothing
+    when parallelism is off. The pool is created lazily on the first
+    parallel group and reused until :meth:`close`.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 morsels_per_worker: int = 4,
+                 min_parallel_ops: float = DEFAULT_MIN_PARALLEL_OPS,
+                 min_intra_rows: int = DEFAULT_MIN_INTRA_ROWS,
+                 dominance: float = DEFAULT_DOMINANCE,
+                 task_size: int = 20_000,
+                 max_recorded: int = 8) -> None:
+        self.workers = resolve_workers(workers)
+        self.morsels_per_worker = max(int(morsels_per_worker), 1)
+        self.min_parallel_ops = float(min_parallel_ops)
+        self.min_intra_rows = int(min_intra_rows)
+        self.dominance = float(dominance)
+        self.task_size = max(int(task_size), 1)
+        self.max_recorded = max(int(max_recorded), 1)
+        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._stats = ParallelStats(workers=self.workers)
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def pool(self) -> ThreadPoolExecutor:
+        """The shared bounded executor (created on first use)."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-window")
+                self._stats.pool_started = True
+            return self._pool
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WindowScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # strategy selection
+    # ------------------------------------------------------------------
+    def choose(self, sizes: Sequence[int], n_calls: int) -> GroupDecision:
+        """Pick a strategy for one group of ``len(sizes)`` partitions."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        partitions = len(sizes)
+        rows = int(sizes.sum()) if partitions else 0
+        if self.workers <= 1:
+            return self._record(GroupDecision(
+                SERIAL, workers=1, partitions=partitions, rows=rows,
+                reason="workers=1"))
+        ops = estimated_group_ops(sizes, n_calls)
+        if ops < self.min_parallel_ops:
+            return self._record(GroupDecision(
+                SERIAL, workers=self.workers, partitions=partitions,
+                rows=rows,
+                reason=f"below cost threshold "
+                       f"({ops:.0f} < {self.min_parallel_ops:.0f} ops)"))
+        largest = int(sizes.max()) if partitions else 0
+        if largest >= self.dominance * rows:
+            if largest < self.min_intra_rows:
+                return self._record(GroupDecision(
+                    SERIAL, workers=self.workers, partitions=partitions,
+                    rows=rows,
+                    reason=f"dominant partition too small for probe "
+                           f"fan-out ({largest} < {self.min_intra_rows} "
+                           f"rows)"))
+            morsels = math.ceil(largest / self._intra_task_size(largest))
+            return self._record(GroupDecision(
+                INTRA_PARTITION, workers=self.workers, morsels=morsels,
+                partitions=partitions, rows=rows,
+                reason=f"largest partition holds "
+                       f"{largest * 100 // max(rows, 1)}% of rows"))
+        plan = bin_pack(sizes, self.workers * self.morsels_per_worker)
+        return self._record(GroupDecision(
+            INTER_PARTITION, workers=self.workers, morsels=len(plan),
+            partitions=partitions, rows=rows, plan=plan))
+
+    def _intra_task_size(self, rows: int) -> int:
+        """Probe task size that gives every worker a few morsels even
+        when the partition is smaller than the default 20k morsel."""
+        target = math.ceil(rows / (self.workers * self.morsels_per_worker))
+        return max(min(self.task_size, target), 4_096)
+
+    def intra_probes(self, decision: GroupDecision) -> ProbeKernels:
+        """Threaded probe kernels for an intra-partition group."""
+        if decision.strategy != INTRA_PARTITION:
+            return SERIAL_PROBES
+        return ThreadedProbes(
+            self.pool(), self.workers,
+            task_size=self._intra_task_size(decision.rows))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_morsels(self, run_one: Callable[[int], None],
+                    count: int) -> None:
+        """Run morsels ``0..count`` on the shared pool, fail-fast.
+
+        Delegates to the same task runner the probe kernels use: every
+        morsel re-activates the caller's execution context, checkpoints
+        (an expired deadline or cancellation mid-fan-out stops the
+        remaining morsels), and fires the ``parallel.morsel`` fault
+        site. Worker failures are flattened into one
+        :class:`~repro.errors.ParallelExecutionError`."""
+        slices = [(m, m + 1) for m in range(count)]
+        pool = self.pool() if self.workers > 1 and count > 1 else None
+        _run_tasks(lambda lo, hi: run_one(lo), slices, self.workers,
+                   pool=pool, fault_site="parallel.morsel")
+        with self._lock:
+            self._stats.morsels_run += count
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _record(self, decision: GroupDecision) -> GroupDecision:
+        with self._lock:
+            self._stats.groups += 1
+            if decision.strategy == SERIAL:
+                self._stats.serial_groups += 1
+            elif decision.strategy == INTER_PARTITION:
+                self._stats.inter_groups += 1
+            else:
+                self._stats.intra_groups += 1
+            self._stats.decisions.append(decision)
+            del self._stats.decisions[:-self.max_recorded]
+        return decision
+
+    def stats(self) -> ParallelStats:
+        """A snapshot of the counters and recent decisions."""
+        with self._lock:
+            return ParallelStats(
+                workers=self.workers,
+                groups=self._stats.groups,
+                serial_groups=self._stats.serial_groups,
+                inter_groups=self._stats.inter_groups,
+                intra_groups=self._stats.intra_groups,
+                morsels_run=self._stats.morsels_run,
+                pool_started=self._stats.pool_started,
+                decisions=list(self._stats.decisions))
+
+
+#: Process-wide default scheduler, sized by ``REPRO_WORKERS`` at first
+#: use. Lets bare ``window_query`` / ``execute`` calls (no Session)
+#: parallelise under the environment switch — which is also how the
+#: tier-1 suite exercises the parallel paths end to end.
+_default: Optional[WindowScheduler] = None
+_default_lock = threading.Lock()
+
+
+def default_scheduler() -> WindowScheduler:
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = WindowScheduler()
+    return _default

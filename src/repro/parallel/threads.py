@@ -8,6 +8,11 @@ limits the achievable speedup to whatever fraction of the work happens
 inside GIL-releasing numpy kernels — the ablation benchmark measures
 and reports that honestly; the *scalability model* for the paper's
 figures lives in :mod:`repro.parallel.simulate`.
+
+Callers may pass a shared ``pool`` (the session-owned executor of
+:class:`~repro.parallel.scheduler.WindowScheduler`) so repeated queries
+reuse one bounded set of worker threads instead of spinning a pool per
+probe; without one, an ephemeral pool is created per call as before.
 """
 
 from __future__ import annotations
@@ -17,9 +22,13 @@ from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ParallelExecutionError, ResilienceError
+from repro.errors import (
+    ParallelExecutionError,
+    ResilienceError,
+    flatten_parallel_failures,
+)
 from repro.mst.build import TreeLevels
-from repro.mst.vectorized import batched_count, batched_select
+from repro.mst.vectorized import batched_aggregate, batched_count, batched_select
 from repro.resilience.context import activate, current_context
 
 
@@ -30,27 +39,35 @@ def task_slices(n: int, task_size: int) -> List[Tuple[int, int]]:
 
 
 def _run_tasks(worker: Callable[[int, int], Any],
-               slices: List[Tuple[int, int]], workers: int) -> List[Any]:
+               slices: List[Tuple[int, int]], workers: int,
+               pool: Optional[ThreadPoolExecutor] = None,
+               fault_site: str = "parallel.worker") -> List[Any]:
     """Run ``worker`` over the slices, in order, fail-fast.
 
     Each task re-activates the submitting thread's
     :class:`~repro.resilience.context.ExecutionContext` (deadlines and
     cancellation propagate into pool workers), checkpoints it, and fires
-    the ``parallel.worker`` fault site. On the first failure every
-    not-yet-started task is cancelled; tasks already running are drained
-    and *all* their failures are attached to the raised
-    :class:`~repro.errors.ParallelExecutionError` (``failures``
-    attribute, sorted by ``(lo, hi)`` task slice so error reports are
-    identical run to run regardless of thread scheduling). Deadline
-    expiry and cancellation propagate as their own typed errors instead
-    of being wrapped."""
+    the ``fault_site`` fault site (``parallel.worker`` for probe tasks,
+    ``parallel.morsel`` for the scheduler's partition morsels). On the
+    first failure every not-yet-started task is cancelled; tasks already
+    running are drained and *all* their failures are attached to the
+    raised :class:`~repro.errors.ParallelExecutionError` (``failures``
+    attribute, flattened across nested pools and sorted by ``(lo, hi)``
+    task slice so error reports are identical run to run regardless of
+    thread scheduling). Deadline expiry and cancellation propagate as
+    their own typed errors instead of being wrapped.
+
+    With ``pool`` given, tasks are submitted to that shared executor
+    (which is *not* shut down here); otherwise an ephemeral
+    ``ThreadPoolExecutor(max_workers=workers)`` is created for the call.
+    """
     ctx = current_context()
 
     def guarded(lo: int, hi: int) -> Any:
         with activate(ctx):
             try:
                 ctx.checkpoint()
-                ctx.fire("parallel.worker")
+                ctx.fire(fault_site)
                 return worker(lo, hi)
             except (ParallelExecutionError, ResilienceError):
                 raise
@@ -60,46 +77,63 @@ def _run_tasks(worker: Callable[[int, int], Any],
     if workers <= 1 or len(slices) <= 1:
         return [guarded(lo, hi) for lo, hi in slices]
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    if pool is not None:
         futures = [pool.submit(guarded, lo, hi) for lo, hi in slices]
-        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-        if all(f.exception() is None for f in done):
-            return [f.result() for f in futures]
-        # Fail fast: cancel whatever has not started, then drain the
-        # tasks already on a thread so every failure can be collected.
-        for future in not_done:
-            future.cancel()
-        wait([f for f in futures if not f.cancelled()])
-        failures: List[BaseException] = []
-        for future in futures:
-            if future.cancelled():
-                continue
-            exc = future.exception()
-            if exc is not None:
-                failures.append(exc)
-        for exc in failures:
-            if isinstance(exc, ResilienceError):
-                raise exc
-        # Thread completion order is nondeterministic; slice order is
-        # not. Sort so the primary error and the ``failures`` list are
-        # stable across runs.
-        failures.sort(key=lambda e: (getattr(e, "lo", -1),
-                                     getattr(e, "hi", -1)))
-        primary = failures[0]
-        if isinstance(primary, ParallelExecutionError):
-            raise ParallelExecutionError(
-                primary.lo, primary.hi,
-                primary.__cause__ or primary,
-                failures=failures) from primary.__cause__
-        raise ParallelExecutionError(  # pragma: no cover - defensive
-            -1, -1, primary, failures=failures) from primary
+        return _drain_failfast(futures)
+    with ThreadPoolExecutor(max_workers=workers) as ephemeral:
+        futures = [ephemeral.submit(guarded, lo, hi) for lo, hi in slices]
+        return _drain_failfast(futures)
+
+
+def _drain_failfast(futures: List[Any]) -> List[Any]:
+    """Await all futures; on failure cancel, drain, and raise flattened.
+
+    Typed guardrail errors (:class:`~repro.errors.ResilienceError`)
+    propagate as themselves; everything else is collected into one
+    :class:`~repro.errors.ParallelExecutionError` whose ``failures``
+    list is flattened across nested pools (a morsel task that itself ran
+    a probe pool contributes its per-slice failures, not a wrapper
+    around a wrapper) and sorted by task slice for run-to-run stability.
+    """
+    done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    if all(f.exception() is None for f in done):
+        return [f.result() for f in futures]
+    # Fail fast: cancel whatever has not started, then drain the
+    # tasks already on a thread so every failure can be collected.
+    for future in not_done:
+        future.cancel()
+    wait([f for f in futures if not f.cancelled()])
+    failures: List[BaseException] = []
+    for future in futures:
+        if future.cancelled():
+            continue
+        exc = future.exception()
+        if exc is not None:
+            failures.append(exc)
+    for exc in failures:
+        if isinstance(exc, ResilienceError):
+            raise exc
+    # Thread completion order is nondeterministic; slice order is
+    # not. Flatten nested failure lists, then sort so the primary
+    # error and the ``failures`` list are stable across runs.
+    flat = flatten_parallel_failures(failures)
+    flat.sort(key=lambda e: (getattr(e, "lo", -1), getattr(e, "hi", -1)))
+    primary = flat[0]
+    if isinstance(primary, ParallelExecutionError):
+        raise ParallelExecutionError(
+            primary.lo, primary.hi,
+            primary.__cause__ or primary,
+            failures=flat) from primary.__cause__
+    raise ParallelExecutionError(  # pragma: no cover - defensive
+        -1, -1, primary, failures=flat) from primary
 
 
 def threaded_map(worker: Callable[[int, int], np.ndarray], n: int,
-                 workers: int = 4, task_size: int = 20_000) -> np.ndarray:
+                 workers: int = 4, task_size: int = 20_000,
+                 pool: Optional[ThreadPoolExecutor] = None) -> np.ndarray:
     """Run ``worker(lo, hi)`` over task slices on a thread pool and
     concatenate the per-task result arrays in order."""
-    parts = _run_tasks(worker, task_slices(n, task_size), workers)
+    parts = _run_tasks(worker, task_slices(n, task_size), workers, pool=pool)
     if not parts:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(parts)
@@ -109,7 +143,9 @@ def threaded_batched_count(levels: TreeLevels, lo: np.ndarray,
                            hi: np.ndarray, key_hi: np.ndarray,
                            key_lo: Optional[np.ndarray] = None,
                            workers: int = 4,
-                           task_size: int = 20_000) -> np.ndarray:
+                           task_size: int = 20_000,
+                           pool: Optional[ThreadPoolExecutor] = None
+                           ) -> np.ndarray:
     """:func:`repro.mst.vectorized.batched_count` with the query rows
     spread over a thread pool; the tree is shared read-only."""
 
@@ -119,13 +155,31 @@ def threaded_batched_count(levels: TreeLevels, lo: np.ndarray,
             key_lo=None if key_lo is None else key_lo[a:b])
 
     return threaded_map(worker, len(lo), workers=workers,
-                        task_size=task_size)
+                        task_size=task_size, pool=pool)
+
+
+def threaded_batched_aggregate(levels: TreeLevels, lo: np.ndarray,
+                               hi: np.ndarray, key_hi: np.ndarray,
+                               kind: str, workers: int = 4,
+                               task_size: int = 20_000,
+                               pool: Optional[ThreadPoolExecutor] = None
+                               ) -> np.ndarray:
+    """:func:`repro.mst.vectorized.batched_aggregate` with the query
+    rows spread over a thread pool; the tree is shared read-only."""
+
+    def worker(a: int, b: int) -> np.ndarray:
+        return batched_aggregate(levels, lo[a:b], hi[a:b], key_hi[a:b],
+                                 kind)
+
+    return threaded_map(worker, len(lo), workers=workers,
+                        task_size=task_size, pool=pool)
 
 
 def threaded_batched_select(levels: TreeLevels, k: np.ndarray,
                             key_lo: np.ndarray, key_hi: np.ndarray,
                             workers: int = 4,
-                            task_size: int = 20_000
+                            task_size: int = 20_000,
+                            pool: Optional[ThreadPoolExecutor] = None
                             ) -> Tuple[np.ndarray, np.ndarray]:
     """Threaded variant of :func:`repro.mst.vectorized.batched_select`."""
     n = len(k)
@@ -133,7 +187,7 @@ def threaded_batched_select(levels: TreeLevels, k: np.ndarray,
     def worker(a: int, b: int):
         return batched_select(levels, k[a:b], key_lo[a:b], key_hi[a:b])
 
-    parts = _run_tasks(worker, task_slices(n, task_size), workers)
+    parts = _run_tasks(worker, task_slices(n, task_size), workers, pool=pool)
     if not parts:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty

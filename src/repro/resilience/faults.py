@@ -16,8 +16,10 @@ Sites currently wired into the engine:
   once per read attempt;
 * ``structure.build`` — around every index-structure build routed
   through :meth:`repro.window.evaluators.common.CallInput.structure`;
-* ``parallel.worker`` — at the start of every thread-pool task in
+* ``parallel.worker`` — at the start of every thread-pool probe task in
   :mod:`repro.parallel.threads`;
+* ``parallel.morsel`` — at the start of every partition-morsel task the
+  :class:`~repro.parallel.scheduler.WindowScheduler` fans out;
 * ``cache.evict``    — at the start of every structure-cache eviction
   (:meth:`repro.cache.store.StructureCache._evict`), before the spill
   write;
@@ -130,5 +132,5 @@ NO_FAULTS = FaultInjector()
 def sites() -> List[str]:
     """The site names wired into the engine (for docs and validation)."""
     return ["spill.write", "spill.read", "structure.build",
-            "parallel.worker", "cache.evict", "cache.reload",
-            "gateway.admit", "circuit.probe"]
+            "parallel.worker", "parallel.morsel", "cache.evict",
+            "cache.reload", "gateway.admit", "circuit.probe"]

@@ -155,10 +155,12 @@ class Context:
     ctes: Dict[str, Tuple[Relation, List[str]]] = field(default_factory=dict)
     outer: Optional[OuterRow] = None
     cache: Any = None  # optional repro.cache.StructureCache
+    parallel: Any = None  # optional repro.parallel.scheduler.WindowScheduler
 
     def child(self, **overrides: Any) -> "Context":
         values = {"catalog": self.catalog, "ctes": dict(self.ctes),
-                  "outer": self.outer, "cache": self.cache}
+                  "outer": self.outer, "cache": self.cache,
+                  "parallel": self.parallel}
         values.update(overrides)
         return Context(**values)
 
@@ -168,12 +170,18 @@ class Context:
 # ----------------------------------------------------------------------
 def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog,
             cache: Any = None,
-            context: Optional[ExecutionContext] = None) -> Table:
+            context: Optional[ExecutionContext] = None,
+            parallel: Any = None) -> Table:
     """Execute a SELECT statement and return the result table.
 
     ``cache`` is an optional :class:`repro.cache.StructureCache`; window
     index structures are acquired through it so repeated queries over
     unchanged data reuse their trees (see :class:`Session`).
+
+    ``parallel`` is an optional
+    :class:`~repro.parallel.scheduler.WindowScheduler` governing
+    morsel-driven window evaluation; without one the process-wide
+    default (sized by ``REPRO_WORKERS``, serial when unset) is used.
 
     ``context`` is an optional
     :class:`~repro.resilience.context.ExecutionContext` carrying the
@@ -186,13 +194,13 @@ def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog,
     """
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     if context is None:
-        relation, names = execute_select(stmt, Context(catalog=catalog,
-                                                       cache=cache))
+        relation, names = execute_select(
+            stmt, Context(catalog=catalog, cache=cache, parallel=parallel))
         return _relation_to_table(relation, names)
     with activate(context):
         context.checkpoint()
-        relation, names = execute_select(stmt, Context(catalog=catalog,
-                                                       cache=cache))
+        relation, names = execute_select(
+            stmt, Context(catalog=catalog, cache=cache, parallel=parallel))
         return _relation_to_table(relation, names)
 
 
@@ -231,10 +239,18 @@ class Session:
     evaluations is re-answered by the naive oracle and any divergence
     raises :class:`~repro.errors.VerificationError`.
 
+    ``workers`` sizes the session's shared window thread pool (default:
+    the ``REPRO_WORKERS`` environment variable, serial when unset). All
+    admitted queries share one
+    :class:`~repro.parallel.scheduler.WindowScheduler`, so the total
+    number of worker threads stays at ``workers`` even with
+    ``max_concurrent`` queries in flight — concurrency and parallelism
+    compose without oversubscribing the machine.
+
     ::
 
         session = Session(catalog, budget_bytes=64 << 20, timeout=5.0,
-                          max_concurrent=8, verify_rate=0.05)
+                          max_concurrent=8, workers=4, verify_rate=0.05)
         session.execute(sql)   # cold: builds trees
         session.execute(sql, priority="batch")   # warm: pure probes
         print(session.explain(sql))  # plan + cache + gateway + health
@@ -250,8 +266,10 @@ class Session:
                  queue_timeout: Optional[float] = None,
                  breaker_threshold: int = 5, breaker_reset: float = 30.0,
                  verify_rate: float = 0.0, verify_seed: int = 0,
-                 verify_reload: bool = True) -> None:
+                 verify_reload: bool = True,
+                 workers: Optional[int] = None) -> None:
         from repro.cache.store import StructureCache
+        from repro.parallel.scheduler import WindowScheduler
         from repro.resilience.circuit import BreakerRegistry
         from repro.resilience.gateway import QueryGateway
         self.catalog = catalog
@@ -271,6 +289,10 @@ class Session:
                                         clock=clock)
         self.verify_rate = verify_rate
         self.verify_seed = verify_seed
+        #: One scheduler (and thread pool) per session: every admitted
+        #: query shares it, so total worker threads stay bounded at
+        #: ``workers`` no matter how large ``max_concurrent`` is.
+        self.parallel = WindowScheduler(workers=workers)
         self.health = HealthCounters()
         self._health_lock = threading.Lock()
 
@@ -299,7 +321,7 @@ class Session:
         try:
             with self.gateway.admit(context, priority=priority):
                 return execute(sql_or_ast, self.catalog, cache=self.cache,
-                               context=context)
+                               context=context, parallel=self.parallel)
         finally:
             with self._health_lock:
                 self.health.merge(context.health)
@@ -307,7 +329,8 @@ class Session:
     def explain(self, sql_or_ast: Union[str, ast.SelectStmt]) -> str:
         from repro.sql.explain import explain as _explain
         return _explain(sql_or_ast, cache=self.cache, health=self.health,
-                        gateway=self.gateway, breakers=self.breakers)
+                        gateway=self.gateway, breakers=self.breakers,
+                        parallel=self.parallel)
 
     def cache_stats(self):
         return self.cache.stats()
@@ -318,6 +341,7 @@ class Session:
 
     def close(self) -> None:
         self.cache.close()
+        self.parallel.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -737,7 +761,7 @@ def _execute_windows(exprs: Sequence[ast.Expr],
         plan.append((call, spec))
 
     table, name_map = builder.build_table()
-    operator = WindowOperator(table, cache=ctx.cache)
+    operator = WindowOperator(table, cache=ctx.cache, parallel=ctx.parallel)
     outputs = []
     for index, (call, spec) in enumerate(plan):
         named = WindowCall(call.function, call.args, **{

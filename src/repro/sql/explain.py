@@ -18,7 +18,8 @@ from repro.sql.parser import parse
 
 def explain(sql_or_ast: Union[str, ast.SelectStmt],
             cache: Any = None, health: Any = None,
-            gateway: Any = None, breakers: Any = None) -> str:
+            gateway: Any = None, breakers: Any = None,
+            parallel: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
@@ -39,7 +40,14 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
     ``breakers`` (a :class:`~repro.resilience.circuit.BreakerRegistry`)
     add ``Gateway`` / ``Breakers`` sections once they have seen any
     traffic, so admission behaviour and breaker states under concurrent
-    load are observable next to the plan."""
+    load are observable next to the plan.
+
+    ``parallel`` (a :class:`~repro.parallel.scheduler.WindowScheduler`)
+    adds a ``Parallelism`` section — worker count and, per recently
+    scheduled window group, the chosen strategy (serial /
+    inter-partition / intra-partition), morsel count, and the reason a
+    group stayed serial — so the scheduler's real decisions are
+    inspectable, not just its configuration."""
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     lines: List[str] = []
     _render_select(stmt, lines, 0)
@@ -63,6 +71,14 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
         lines.append("Resilience")
         for line in health.render():
             lines.append("  " + line)
+    if parallel is not None:
+        stats = parallel.stats()
+        # A workers=1 scheduler never parallelises anything; omit the
+        # section rather than print a page of "serial — workers=1".
+        if stats.workers > 1:
+            lines.append("Parallelism")
+            for line in stats.render():
+                lines.append("  " + line)
     return "\n".join(lines)
 
 

@@ -12,8 +12,10 @@ from repro.window.partition import PartitionView
 def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
     """Evaluate one window function over one partition.
 
-    Dispatches on the call's family; every evaluator returns a list of
-    ``part.n`` Python values (None = SQL NULL) in partition order.
+    Dispatches on the call's family; every evaluator returns ``part.n``
+    values in partition order — a Python list (None = SQL NULL) or a
+    numeric ndarray when no row is NULL (the operator's result buffer
+    scatters ndarrays with one vectorised fancy-index store).
 
     Graceful degradation lives here so every entry point (SQL executor,
     :func:`~repro.window.operator.window_query`, direct operator use)

@@ -26,7 +26,6 @@ from repro.baselines.incremental import IncrementalDistinct
 from repro.errors import WindowFunctionError
 from repro.mst.aggregates import SUM, AggregateSpec
 from repro.mst.tree import MergeSortTree
-from repro.mst.vectorized import batched_aggregate, batched_count
 from repro.preprocess.occurrences import (
     occurrence_lists,
     previous_occurrence,
@@ -116,9 +115,12 @@ def _hole_only_values(inputs: CallInput, occurrences, row: int,
 
 def _count_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
     tree = _build_tree(inputs, cache_kind="mst:distinct")
-    base = batched_count(tree.levels, inputs.start_f, inputs.end_f,
-                         key_hi=inputs.start_f + 1)
-    result = base.astype(np.int64)
+    # One batched probe for every row; only frames with EXCLUDE holes
+    # need the per-row correction loop (previous-occurrence pointers
+    # can chain through a hole, Section 4.7).
+    result = inputs.part.probes.count(
+        tree.levels, inputs.start_f, inputs.end_f,
+        key_hi=inputs.start_f + 1).astype(np.int64)
     if inputs.part.has_exclusion:
         values, _ = inputs.part.column(call.args[0])
         occurrences = occurrence_lists(
@@ -129,17 +131,19 @@ def _count_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
             if inputs.part.row_holes(row):
                 result[row] -= len(_hole_only_values(
                     inputs, occurrences, row, values, inputs.keep))
-    return [int(c) for c in result]
+    return result
 
 
 def _sum_avg_distinct(call: WindowCall, inputs: CallInput) -> List[Any]:
     payload = np.asarray(inputs.kept_values(call.args[0]), dtype=np.float64)
     tree = _build_tree(inputs, aggregate=SUM, payload=payload,
                        cache_kind="mst:distinct:sum")
-    sums = batched_aggregate(tree.levels, inputs.start_f, inputs.end_f,
-                             key_hi=inputs.start_f + 1, kind="sum")
-    counts = batched_count(tree.levels, inputs.start_f, inputs.end_f,
-                           key_hi=inputs.start_f + 1)
+    sums = inputs.part.probes.aggregate(
+        tree.levels, inputs.start_f, inputs.end_f,
+        key_hi=inputs.start_f + 1, kind="sum")
+    counts = inputs.part.probes.count(
+        tree.levels, inputs.start_f, inputs.end_f,
+        key_hi=inputs.start_f + 1)
     if inputs.part.has_exclusion:
         values, _ = inputs.part.column(call.args[0])
         occurrences = occurrence_lists(
@@ -181,8 +185,9 @@ def _udaf_distinct(call: WindowCall, part: PartitionView,
         return _evaluate_naive(call, part, inputs)
     values = inputs.kept_values(call.args[0])
     tree = _build_tree(inputs, aggregate=spec, payload=values)
-    counts = batched_count(tree.levels, inputs.start_f, inputs.end_f,
-                           key_hi=inputs.start_f + 1)
+    counts = inputs.part.probes.count(
+        tree.levels, inputs.start_f, inputs.end_f,
+        key_hi=inputs.start_f + 1)
     out: List[Any] = []
     ctx = current_context()
     for i in range(inputs.n):

@@ -22,7 +22,6 @@ from repro.baselines.naive import (
 )
 from repro.errors import WindowFunctionError
 from repro.mst.tree import MergeSortTree
-from repro.mst.vectorized import batched_select
 from repro.ostree.windowed import windowed_kth_ostree
 from repro.segtree.holistic import HolisticSegmentTree
 from repro.window.calls import WindowCall
@@ -114,8 +113,9 @@ def _select_single_piece(tree: MergeSortTree, inputs: CallInput, values: Any,
         positions = fraction * (sizes - 1)
         lower = np.floor(positions).astype(np.int64)
         upper = np.ceil(positions).astype(np.int64)
-        _, pos_lo = batched_select(tree.levels, lower, lo[idx], hi[idx])
-        _, pos_hi = batched_select(tree.levels, upper, lo[idx], hi[idx])
+        probes = inputs.part.probes
+        _, pos_lo = probes.select(tree.levels, lower, lo[idx], hi[idx])
+        _, pos_hi = probes.select(tree.levels, upper, lo[idx], hi[idx])
         weight = positions - lower
         vals = np.asarray(values, dtype=np.float64)
         results = vals[pos_lo] * (1 - weight) + vals[pos_hi] * weight
@@ -123,7 +123,8 @@ def _select_single_piece(tree: MergeSortTree, inputs: CallInput, values: Any,
             out[row] = float(results[j])
     else:
         ks = np.maximum(np.ceil(fraction * sizes).astype(np.int64) - 1, 0)
-        _, pos = batched_select(tree.levels, ks, lo[idx], hi[idx])
+        _, pos = inputs.part.probes.select(tree.levels, ks, lo[idx],
+                                           hi[idx])
         for j, row in enumerate(idx):
             out[row] = infer_scalar(values[pos[j]])
     return out

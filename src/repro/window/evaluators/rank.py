@@ -17,7 +17,6 @@ import numpy as np
 from repro.baselines.naive import naive_dense_rank, naive_rank
 from repro.errors import WindowFunctionError
 from repro.mst.tree import MergeSortTree
-from repro.mst.vectorized import batched_count
 from repro.ostree.windowed import windowed_rank_ostree
 from repro.preprocess.rankkeys import dense_rank_keys, row_number_keys
 from repro.rangetree.dense import DenseRankIndex
@@ -59,27 +58,30 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     def count_below(threshold: np.ndarray) -> np.ndarray:
         total = np.zeros(part.n, dtype=np.int64)
         for lo, hi in inputs.pieces_f:
-            total += batched_count(tree.levels, lo, hi, key_hi=threshold)
+            total += part.probes.count(tree.levels, lo, hi,
+                                       key_hi=threshold)
         return total
 
-    if name == "rank":
-        return [int(c) + 1 for c in count_below(own)]
-    if name == "row_number":
-        return [int(c) + 1 for c in count_below(own)]
+    if name in ("rank", "row_number"):
+        return count_below(own) + 1
     if name == "percent_rank":
         smaller = count_below(own)
-        sizes = inputs.frame_counts()
-        return [0.0 if sizes[i] <= 1 else float(smaller[i] / (sizes[i] - 1))
-                for i in range(part.n)]
+        sizes = np.asarray(inputs.frame_counts(), dtype=np.int64)
+        return np.where(sizes <= 1, 0.0,
+                        smaller / np.maximum(sizes - 1, 1))
     if name == "cume_dist":
         at_most = count_below(own + 1)
-        sizes = inputs.frame_counts()
+        sizes = np.asarray(inputs.frame_counts(), dtype=np.int64)
+        if (sizes > 0).all():
+            return at_most / sizes
         return [None if sizes[i] == 0 else float(at_most[i] / sizes[i])
                 for i in range(part.n)]
     if name == "ntile":
         row_numbers = count_below(own)  # 0-based
-        sizes = inputs.frame_counts()
+        sizes = np.asarray(inputs.frame_counts(), dtype=np.int64)
         buckets = call.buckets
+        if (sizes > 0).all():
+            return (row_numbers * buckets) // sizes + 1
         return [None if sizes[i] == 0
                 else int((row_numbers[i] * buckets) // sizes[i]) + 1
                 for i in range(part.n)]
@@ -98,7 +100,7 @@ def _dense_rank(inputs: CallInput, keys: np.ndarray) -> List[Any]:
         lambda: DenseRankIndex(kept_keys),
         extra=inputs.function_order_signature())
     ranks = index.batched_dense_rank(inputs.start_f, inputs.end_f, keys)
-    return [int(r) for r in ranks]
+    return np.asarray(ranks, dtype=np.int64)
 
 
 def _evaluate_naive(name: str, call: WindowCall, part: PartitionView,

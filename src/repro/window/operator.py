@@ -4,16 +4,34 @@ The classic structure from Leis et al. [27]: the input is sorted once by
 (PARTITION BY, ORDER BY); each partition resolves its frame bounds and
 evaluates every window function against shared index structures; results
 are scattered back to the original row order as new columns.
+
+Partition evaluation is scheduled by a
+:class:`~repro.parallel.scheduler.WindowScheduler` (Section 5): many
+small partitions are bin-packed into morsels that run whole on the
+session's shared thread pool (inter-partition), a dominant partition
+builds once and fans its probe arrays out over the pool
+(intra-partition), and small groups stay on the pre-existing serial
+path. Whatever the strategy, each partition scatters its values into
+precomputed global row positions, so results are bit-identical to
+serial execution regardless of completion order.
 """
 
 from __future__ import annotations
 
 import datetime
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import FrameError, WindowFunctionError
+from repro.parallel.probes import SERIAL_PROBES, ProbeKernels
+from repro.parallel.scheduler import (
+    INTER_PARTITION,
+    INTRA_PARTITION,
+    WindowScheduler,
+    default_scheduler,
+)
 from repro.resilience.context import current_context
 from repro.sortutil import SortColumn, sorted_equal_runs, stable_argsort
 from repro.table.column import Column, DataType
@@ -44,9 +62,13 @@ class WindowOperator:
     Cao et al. [11]).
     """
 
-    def __init__(self, table: Table, cache: Any = None) -> None:
+    def __init__(self, table: Table, cache: Any = None,
+                 parallel: Optional[WindowScheduler] = None) -> None:
         self.table = table
         self.cache = cache  # optional repro.cache.StructureCache
+        #: Scheduler for morsel-driven evaluation; None falls back to
+        #: the process-wide default (sized by ``REPRO_WORKERS``).
+        self.parallel = parallel
         self._groups: List[Tuple[WindowSpec, List[WindowCall]]] = []
 
     def add(self, call: WindowCall, spec: WindowSpec) -> "WindowOperator":
@@ -64,7 +86,8 @@ class WindowOperator:
         ordered_names: List[str] = []
         for spec, calls in self._groups:
             results = _evaluate_group(self.table, spec, calls,
-                                      cache=self.cache)
+                                      cache=self.cache,
+                                      parallel=self.parallel)
             for call, values in zip(calls, results):
                 name = _unique_name(call.output_name, set(outputs)
                                     | set(self.table.schema.names()))
@@ -82,9 +105,10 @@ class WindowOperator:
 
 
 def window_query(table: Table, calls: Sequence[WindowCall],
-                 spec: WindowSpec, cache: Any = None) -> Table:
+                 spec: WindowSpec, cache: Any = None,
+                 parallel: Optional[WindowScheduler] = None) -> Table:
     """One-shot convenience: evaluate ``calls`` over one window spec."""
-    operator = WindowOperator(table, cache=cache)
+    operator = WindowOperator(table, cache=cache, parallel=parallel)
     for call in calls:
         operator.add(call, spec)
     return operator.run()
@@ -93,9 +117,64 @@ def window_query(table: Table, calls: Sequence[WindowCall],
 # ----------------------------------------------------------------------
 # group evaluation
 # ----------------------------------------------------------------------
+class _ResultBuffer:
+    """One output column being assembled across partitions.
+
+    Evaluators that produce numeric ndarrays get a vectorised
+    fancy-index scatter into a preallocated array; object payloads (and
+    lists carrying SQL NULLs) fall back to the per-row Python loop. The
+    buffer demotes array -> list on first non-array input: rows already
+    scattered keep their values, rows not yet scattered are still owned
+    by exactly one future partition, so the placeholder never survives
+    to :meth:`finish`. Scatters may arrive from concurrent morsel
+    tasks; each targets disjoint global positions, and the short lock
+    only guards the buffer-representation switch."""
+
+    __slots__ = ("n", "_array", "_list", "_lock")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._array: Optional[np.ndarray] = None
+        self._list: Optional[List[Any]] = None
+        self._lock = threading.Lock()
+
+    def scatter(self, rows: np.ndarray, values: Any) -> None:
+        with self._lock:
+            if (self._list is None and isinstance(values, np.ndarray)
+                    and values.dtype.kind in "biuf"):
+                if self._array is None:
+                    self._array = np.zeros(self.n, dtype=values.dtype)
+                elif self._array.dtype != values.dtype:
+                    promoted = np.promote_types(self._array.dtype,
+                                                values.dtype)
+                    if promoted != self._array.dtype:
+                        self._array = self._array.astype(promoted)
+                self._array[rows] = values
+                return
+            if self._list is None:
+                self._list = ([None] * self.n if self._array is None
+                              else self._array.tolist())
+                self._array = None
+            if isinstance(values, np.ndarray):
+                values = values.tolist()
+            out = self._list
+            for local, row in enumerate(rows):
+                out[row] = values[local]
+
+    def finish(self) -> List[Any]:
+        """The completed column as Python values (None = SQL NULL)."""
+        if self._list is not None:
+            return self._list
+        if self._array is not None:
+            return self._array.tolist()
+        return [None] * self.n
+
+
 def _evaluate_group(table: Table, spec: WindowSpec,
                     calls: Sequence[WindowCall],
-                    cache: Any = None) -> List[List[Any]]:
+                    cache: Any = None,
+                    parallel: Optional[WindowScheduler] = None
+                    ) -> List[List[Any]]:
     n = table.num_rows
     group_key = None
     if cache is not None:
@@ -123,33 +202,66 @@ def _evaluate_group(table: Table, spec: WindowSpec,
     all_column_data = {name: _column_data(table, name)
                        for name in table.schema.names()}
 
-    results: List[List[Any]] = [[None] * n for _ in calls]
     boundaries = np.flatnonzero(
         np.r_[True, partition_ids[1:] != partition_ids[:-1]])
-    starts = list(boundaries) + [n]
-    ctx = current_context()
-    for p in range(len(starts) - 1):
-        # Partition boundaries are the operator's batch boundaries: an
-        # expired deadline or cancellation surfaces here rather than
-        # hanging through the remaining partitions.
-        ctx.checkpoint()
+    starts = np.append(boundaries, n)
+    sizes = np.diff(starts)
+
+    scheduler = parallel if parallel is not None else default_scheduler()
+    decision = scheduler.choose(sizes, len(calls))
+
+    buffers = [_ResultBuffer(n) for _ in calls]
+
+    def evaluate_partition(p: int, probes: ProbeKernels) -> None:
+        """Build, evaluate and scatter one whole partition.
+
+        Cache pins are acquired under the store lock inside the
+        builder and released in this task's ``finally`` — the thread
+        that built (or another worker probing the same cached tree)
+        never leaves a pin behind on failure or cancellation."""
         rows = order[starts[p]:starts[p + 1]]
         acquirer = None
         if cache is not None:
             from repro.cache.store import StructureAcquirer
             acquirer = StructureAcquirer(cache, group_key + (p,))
         view = _build_partition(all_column_data, rows, spec, frame,
-                                order_columns, table, structures=acquirer)
+                                order_columns, table, structures=acquirer,
+                                probes=probes)
         try:
             for call_index, call in enumerate(calls):
                 values = evaluate_call(call, view)
                 values = _restore_dates(call, table, values)
-                for local, row in enumerate(rows):
-                    results[call_index][row] = values[local]
+                buffers[call_index].scatter(rows, values)
         finally:
             if acquirer is not None:
                 acquirer.release_all()
-    return results
+
+    ctx = current_context()
+    if decision.strategy == INTER_PARTITION:
+        plan = decision.plan
+
+        def run_morsel(m: int) -> None:
+            # Morsel tasks run partitions whole with serial probe
+            # kernels: nested fan-out into the same bounded pool from a
+            # pool thread could deadlock, and whole-partition tasks are
+            # already the unit of parallelism here.
+            morsel_ctx = current_context()
+            for p in plan[m]:
+                morsel_ctx.checkpoint()
+                evaluate_partition(int(p), SERIAL_PROBES)
+
+        scheduler.run_morsels(run_morsel, len(plan))
+    else:
+        probes = (scheduler.intra_probes(decision)
+                  if decision.strategy == INTRA_PARTITION
+                  else SERIAL_PROBES)
+        for p in range(len(sizes)):
+            # Partition boundaries are the operator's batch boundaries:
+            # an expired deadline or cancellation surfaces here rather
+            # than hanging through the remaining partitions.
+            ctx.checkpoint()
+            evaluate_partition(p, probes)
+    return [buffer.finish() for buffer in buffers]
 
 
 _DATE_PRESERVING = frozenset(
@@ -186,7 +298,8 @@ def _gather(values: Any, rows: np.ndarray) -> Any:
 def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
                      rows: np.ndarray, spec: WindowSpec, frame: FrameSpec,
                      order_columns: List[SortColumn],
-                     table: Table, structures: Any = None) -> PartitionView:
+                     table: Table, structures: Any = None,
+                     probes: ProbeKernels = SERIAL_PROBES) -> PartitionView:
     local_n = len(rows)
     columns: Dict[str, Tuple[Any, np.ndarray]] = {}
     for name, (values, validity) in all_column_data.items():
@@ -218,7 +331,7 @@ def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
     holes = _holes(start, end, frame.exclusion, peers, local_n)
     return PartitionView(columns, local_n, start, end, pieces, holes, peers,
                          frame.exclusion, window_order=spec.order_by,
-                         structures=structures)
+                         structures=structures, probes=probes)
 
 
 def _range_keys(spec: WindowSpec, local_order_cols: List[SortColumn],

@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import WindowFunctionError
+from repro.parallel.probes import SERIAL_PROBES, ProbeKernels
 from repro.sortutil import SortColumn
 from repro.window.bounds import PeerGroups
 from repro.window.frame import FrameExclusion, OrderItem
@@ -31,7 +32,8 @@ class PartitionView:
                  pieces: List[RangePair], holes: List[RangePair],
                  peers: PeerGroups, exclusion: FrameExclusion,
                  window_order: Sequence[OrderItem] = (),
-                 structures: Any = None) -> None:
+                 structures: Any = None,
+                 probes: ProbeKernels = SERIAL_PROBES) -> None:
         self.columns = columns
         self.n = n
         self.start = start
@@ -44,6 +46,10 @@ class PartitionView:
         #: Optional repro.cache.StructureAcquirer; evaluators route index
         #: builds through it (None = always build inline).
         self.structures = structures
+        #: Probe kernels (serial or thread-fanned); evaluators call
+        #: ``probes.count/select/aggregate`` instead of the batched
+        #: kernels directly so the scheduler controls fan-out.
+        self.probes = probes
 
     @property
     def has_exclusion(self) -> bool:

@@ -52,15 +52,21 @@ def test_worker_exception_carries_task_slice(workers):
 def test_multi_failure_report_is_deterministically_ordered(trial):
     # Every task fails, each after a different (seeded) delay, so the
     # threads *complete* in a different order every trial — yet the
-    # collected failures must come back sorted by task slice.
+    # collected failures must come back sorted by task slice. A barrier
+    # makes sure all four tasks have *started* before any fails (a
+    # loaded machine could otherwise let fail-fast cancel a task whose
+    # thread never dequeued it, which is correct but not this test).
     import random
+    import threading
     import time
 
     delays = {lo: d for lo, d in
               zip(range(0, 20, 5),
                   random.Random(trial).sample([0.0, 0.005, 0.01, 0.02], 4))}
+    started = threading.Barrier(4)
 
     def worker(lo, hi):
+        started.wait(timeout=10)
         time.sleep(delays[lo])
         raise ValueError(f"boom in [{lo}, {hi})")
 

@@ -246,8 +246,10 @@ def _poison_distinct(monkeypatch):
 
     def poisoned(call, part):
         result = original(call, part)
-        if call.algorithm != "naive" and result:
-            result = list(result)
+        # Evaluators may return a list or an ndarray; len() covers both.
+        if call.algorithm != "naive" and len(result):
+            result = (result.tolist() if hasattr(result, "tolist")
+                      else list(result))
             result[0] = (result[0] or 0) + 1
         return result
 
