@@ -48,7 +48,16 @@ from repro.errors import (
 )
 from repro.cache import StructureCache
 from repro.mst import AggregateSpec, MemoryModel, MergeSortTree, make_udaf
-from repro.sql import Catalog, Session, execute
+from repro.obs import MetricsRegistry, Tracer
+from repro.sql import (
+    Catalog,
+    QueryOptions,
+    QueryResult,
+    QueryStats,
+    Session,
+    SessionConfig,
+    execute,
+)
 from repro.table import Column, DataType, Field, Schema, Table
 from repro.window import (
     FrameBound,
@@ -82,16 +91,22 @@ __all__ = [
     "FrameSpec",
     "MemoryModel",
     "MergeSortTree",
+    "MetricsRegistry",
     "ParallelExecutionError",
+    "QueryOptions",
+    "QueryResult",
+    "QueryStats",
     "ReproError",
     "Schema",
     "SchemaError",
     "Session",
+    "SessionConfig",
     "SqlAnalysisError",
     "SqlError",
     "SqlSyntaxError",
     "StructureCache",
     "Table",
+    "Tracer",
     "TypeMismatchError",
     "WindowCall",
     "WindowFunctionError",

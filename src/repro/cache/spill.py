@@ -123,6 +123,7 @@ class SpillManager:
         self._owned = directory is None
         self._created = False
         self.bytes_written = 0
+        self.bytes_read = 0
         self.max_retries = max_retries
         self.backoff = backoff
         self._sleep = sleep
@@ -185,6 +186,8 @@ class SpillManager:
                     pass
                 raise
 
+        tracer = ctx.tracer
+        span = tracer.span("spill.write") if tracer.enabled else None
         try:
             self._with_retries(write_once)
         except OSError:
@@ -192,9 +195,16 @@ class SpillManager:
             # persistent-failure strike against the write breaker.
             breaker_failure(ctx, breaker)
             raise
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
         if breaker is not None:
             breaker.record_success()
-        self.bytes_written += os.path.getsize(path)
+        nbytes = os.path.getsize(path)
+        self.bytes_written += nbytes
+        ctx.telemetry.count_spill_write(nbytes)
+        if span is not None:
+            span.annotate(bytes=nbytes)
         return path, structure.aggregate_spec
 
     # ------------------------------------------------------------------
@@ -231,6 +241,8 @@ class SpillManager:
                     f"spill file {os.path.basename(path)!r} could not be "
                     f"decoded: {type(exc).__name__}: {exc}") from exc
 
+        tracer = ctx.tracer
+        span = tracer.span("spill.read") if tracer.enabled else None
         try:
             tree = self._with_retries(read_once)
         except SpillCorruptionError:
@@ -240,8 +252,19 @@ class SpillManager:
         except OSError:
             breaker_failure(ctx, breaker)
             raise
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
         if breaker is not None:
             breaker.record_success()
+        try:
+            nbytes = os.path.getsize(path)
+        except OSError:  # pragma: no cover - file vanished post-read
+            nbytes = 0
+        self.bytes_read += nbytes
+        ctx.telemetry.count_spill_read(nbytes)
+        if span is not None:
+            span.annotate(bytes=nbytes)
         tree.aggregate_spec = meta
         return tree
 

@@ -189,9 +189,11 @@ class StructureCache:
                     entry.nbytes = entry.live_bytes
                     self._budget.charge(entry.nbytes)
                     self._stats.reloads += 1
+                    ctx.telemetry.count_cache_reload()
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
+                current_context().telemetry.count_cache_hit()
                 if pin:
                     entry.pins += 1
                 # Hold a local reference before re-running eviction: an
@@ -208,6 +210,7 @@ class StructureCache:
             self._entries[key] = entry
             self._budget.charge(nbytes)
             self._stats.misses += 1
+            current_context().telemetry.count_cache_miss()
             self._evict_to_budget()
             return structure
 
@@ -337,6 +340,14 @@ class StructureCache:
         self.close()
 
 
+def _key_digest(key: Tuple) -> str:
+    """A short stable fingerprint of a cache key for trace attributes
+    (full keys embed array fingerprints and are unreadably long)."""
+    import hashlib
+    return hashlib.blake2b(repr(key).encode(),
+                           digest_size=4).hexdigest()
+
+
 class StructureAcquirer:
     """Per-partition handle the evaluators use to obtain structures.
 
@@ -368,7 +379,27 @@ class StructureAcquirer:
         if self._cache is None:
             return builder()
         key = self._prefix + (kind,) + tuple(config)
-        structure = self._cache.acquire(key, builder, pin=True)
+        tracer = current_context().tracer
+        if tracer.enabled:
+            # Wrap the builder so the trace distinguishes a fresh build
+            # (a ``structure.build`` span, timed) from a cache hit (a
+            # zero-duration ``structure.reuse`` event) per cache key.
+            digest = _key_digest(key)
+            built = [False]
+            inner = builder
+
+            def traced_builder() -> Any:
+                built[0] = True
+                with tracer.span("structure.build", kind=kind,
+                                 key=digest):
+                    return inner()
+
+            builder = traced_builder
+            structure = self._cache.acquire(key, builder, pin=True)
+            if not built[0]:
+                tracer.event("structure.reuse", kind=kind, key=digest)
+        else:
+            structure = self._cache.acquire(key, builder, pin=True)
         with self._held_lock:
             self._held.append(key)
         return structure

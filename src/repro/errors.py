@@ -14,6 +14,29 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """An invalid session or query configuration was supplied.
+
+    Raised at :class:`~repro.sql.config.SessionConfig` /
+    :class:`~repro.sql.config.QueryOptions` construction time, so a bad
+    combination (negative timeout, unknown priority, a spill directory
+    with spilling disabled) fails before any query runs rather than
+    deep inside execution. Also a :class:`ValueError` so pre-dataclass
+    call sites that caught ``ValueError`` keep working."""
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Warning category for the legacy keyword-argument shims.
+
+    Emitted when :class:`~repro.sql.executor.Session` is constructed
+    with the 16 loose keyword arguments instead of a
+    :class:`~repro.sql.config.SessionConfig`, or ``execute`` is called
+    with loose options instead of a
+    :class:`~repro.sql.config.QueryOptions`. A dedicated subclass so CI
+    can escalate first-party use to an error while leaving downstream
+    callers on the ordinary deprecation path."""
+
+
 class SchemaError(ReproError):
     """A table or column was used in a way incompatible with its schema."""
 

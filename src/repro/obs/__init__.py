@@ -1,0 +1,56 @@
+"""Observability: per-query tracing, telemetry, and session metrics.
+
+Three layers, from most to least granular:
+
+* :mod:`repro.obs.trace` — a per-query span tree (:class:`Tracer`)
+  recording when each phase ran, on which thread, for how long;
+* :mod:`repro.obs.telemetry` — per-query scalar counters
+  (:class:`QueryTelemetry`) that stay on even when tracing is off;
+* :mod:`repro.obs.metrics` — a session-lifetime
+  :class:`MetricsRegistry` with Prometheus text exposition.
+
+This package imports only the standard library, so the resilience and
+cache layers can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      DEFAULT_BUCKETS)
+from .telemetry import QueryTelemetry
+from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "QueryTelemetry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "trace_enabled_from_env",
+]
+
+
+def trace_enabled_from_env(default: bool = False) -> bool:
+    """Resolve the ``REPRO_TRACE`` environment flag.
+
+    ``1`` / ``true`` / ``yes`` / ``on`` (any case) enable tracing;
+    ``0`` / ``false`` / ``no`` / ``off`` / empty disable it; anything
+    else falls back to ``default``.
+    """
+    raw = os.environ.get("REPRO_TRACE")
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("", "0", "false", "no", "off"):
+        return False
+    return default

@@ -50,6 +50,7 @@ import numpy as np
 from repro.parallel.costs import WindowWorkload, algorithm_tasks
 from repro.parallel.probes import SERIAL_PROBES, ProbeKernels, ThreadedProbes
 from repro.parallel.threads import _run_tasks
+from repro.resilience.context import current_context
 
 #: Strategy names (also what EXPLAIN's Parallelism section prints).
 SERIAL = "serial"
@@ -292,8 +293,23 @@ class WindowScheduler:
         :class:`~repro.errors.ParallelExecutionError`."""
         slices = [(m, m + 1) for m in range(count)]
         pool = self.pool() if self.workers > 1 and count > 1 else None
-        _run_tasks(lambda lo, hi: run_one(lo), slices, self.workers,
+        ctx = current_context()
+        tracer = ctx.tracer
+        task = run_one
+        if tracer.enabled:
+            # Pool workers start with an empty span stack, so anchor
+            # each morsel span to the span open on the submitting
+            # thread — morsels nest under their window group.
+            anchor = tracer.current()
+
+            def task(m: int) -> None:
+                with tracer.span("parallel.morsel", parent=anchor,
+                                 morsel=m):
+                    run_one(m)
+
+        _run_tasks(lambda lo, hi: task(lo), slices, self.workers,
                    pool=pool, fault_site="parallel.morsel")
+        ctx.telemetry.add_morsels(count)
         with self._lock:
             self._stats.morsels_run += count
 
@@ -301,6 +317,7 @@ class WindowScheduler:
     # introspection
     # ------------------------------------------------------------------
     def _record(self, decision: GroupDecision) -> GroupDecision:
+        current_context().telemetry.record_strategy(decision.strategy)
         with self._lock:
             self._stats.groups += 1
             if decision.strategy == SERIAL:

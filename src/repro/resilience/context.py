@@ -32,6 +32,7 @@ from repro.errors import (
     QueryTimeoutError,
     ResourceLimitError,
 )
+from repro.obs import NULL_TRACER, QueryTelemetry
 from repro.resilience.faults import NO_FAULTS, FaultInjector
 
 
@@ -197,7 +198,8 @@ class ExecutionContext:
                  clock: Optional[SystemClock] = None,
                  breakers=None,
                  verify_rate: float = 0.0,
-                 verify_seed: int = 0) -> None:
+                 verify_seed: int = 0,
+                 tracer=None) -> None:
         self.clock = clock if clock is not None else SystemClock()
         if deadline is None and timeout is not None:
             deadline = self.clock.monotonic() + timeout
@@ -217,6 +219,13 @@ class ExecutionContext:
         self.verify_seed = verify_seed
         self._verify_counter = 0
         self.health = HealthCounters()
+        #: Per-query span recorder (:class:`~repro.obs.trace.Tracer`);
+        #: the shared no-op :data:`~repro.obs.trace.NULL_TRACER` when
+        #: tracing is off, so hot paths guard with ``tracer.enabled``.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Per-query scalar counters (cache, spill, queue, scheduler);
+        #: always live — cheap enough to never turn off.
+        self.telemetry = QueryTelemetry()
         self._refresh_armed()
 
     def _refresh_armed(self) -> None:

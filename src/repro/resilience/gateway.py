@@ -150,6 +150,20 @@ class QueryGateway:
         wait_deadline = None
         if self.queue_timeout is not None:
             wait_deadline = self.clock.monotonic() + self.queue_timeout
+        tracer = ctx.tracer
+        entered = self.clock.monotonic()
+        span = tracer.span("gateway.wait", priority=priority) \
+            if tracer.enabled else None
+        try:
+            self._wait_for_slot(ctx, priority, wait_deadline)
+        finally:
+            waited = self.clock.monotonic() - entered
+            ctx.telemetry.add_queue_wait(waited)
+            if span is not None:
+                span.__exit__(None, None, None)
+
+    def _wait_for_slot(self, ctx: "ExecutionContext", priority: str,
+                       wait_deadline: Optional[float]) -> None:
         with self._cond:
             queue = self._queues[priority]
             # A newcomer runs instantly only when nobody of its class is

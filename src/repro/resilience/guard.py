@@ -98,6 +98,7 @@ def guarded_builder(kind: str,
         if ctx.limits.max_structure_bytes is not None:
             from repro.cache.budget import structure_bytes
             ctx.guard_structure_bytes(kind, structure_bytes(structure))
+        ctx.telemetry.count_structure_build()
         return structure
 
     return build

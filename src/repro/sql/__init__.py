@@ -26,9 +26,13 @@ Usage::
 """
 
 from repro.sql.catalog import Catalog
+from repro.sql.config import QueryOptions, SessionConfig
 from repro.sql.executor import Session, execute
 from repro.sql.explain import explain
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
+from repro.sql.result import QueryResult, QueryStats
 
-__all__ = ["Catalog", "Session", "execute", "explain", "parse", "tokenize"]
+__all__ = ["Catalog", "QueryOptions", "QueryResult", "QueryStats",
+           "Session", "SessionConfig", "execute", "explain", "parse",
+           "tokenize"]

@@ -17,12 +17,22 @@ from __future__ import annotations
 
 import datetime
 import threading
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import SqlAnalysisError
+from repro.errors import (
+    ConfigurationError,
+    QueryCancelledError,
+    QueryRejectedError,
+    QueryTimeoutError,
+    ReproDeprecationWarning,
+    ResourceLimitError,
+    SqlAnalysisError,
+)
+from repro.obs import Tracer, trace_enabled_from_env
 from repro.resilience.context import (
     CancellationToken,
     ExecutionContext,
@@ -33,6 +43,8 @@ from repro.resilience.context import (
 )
 from repro.resilience.faults import FaultInjector
 from repro.sql import ast
+from repro.sql.config import QueryOptions, SessionConfig
+from repro.sql.result import QueryResult, QueryStats
 from repro.sql.aggregates import compute_aggregate, is_aggregate_name
 from repro.sql.catalog import Catalog
 from repro.sql.parser import parse
@@ -192,16 +204,43 @@ def execute(sql_or_ast: Union[str, ast.SelectStmt], catalog: Catalog,
     checkpoints against it without parameter plumbing. Without one, the
     query runs under the current (usually ambient, unarmed) context.
     """
-    stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
-    if context is None:
-        relation, names = execute_select(
-            stmt, Context(catalog=catalog, cache=cache, parallel=parallel))
-        return _relation_to_table(relation, names)
-    with activate(context):
-        context.checkpoint()
-        relation, names = execute_select(
-            stmt, Context(catalog=catalog, cache=cache, parallel=parallel))
-        return _relation_to_table(relation, names)
+    own_tracer = None
+    if context is None and trace_enabled_from_env():
+        # The REPRO_TRACE CI leg exercises tracing even through bare
+        # execute() calls (no Session): give the query its own traced
+        # context for the duration.
+        own_tracer = Tracer()
+        context = ExecutionContext(tracer=own_tracer)
+    try:
+        if context is None:
+            stmt = _parse_traced(sql_or_ast, current_context())
+            relation, names = execute_select(
+                stmt,
+                Context(catalog=catalog, cache=cache, parallel=parallel))
+            return _relation_to_table(relation, names)
+        with activate(context):
+            context.checkpoint()
+            stmt = _parse_traced(sql_or_ast, context)
+            relation, names = execute_select(
+                stmt,
+                Context(catalog=catalog, cache=cache, parallel=parallel))
+            return _relation_to_table(relation, names)
+    finally:
+        if own_tracer is not None:
+            own_tracer.finish()
+
+
+def _parse_traced(sql_or_ast: Union[str, ast.SelectStmt],
+                  exec_ctx: ExecutionContext) -> ast.SelectStmt:
+    """Parse SQL text under a ``parse`` span (already-parsed ASTs pass
+    straight through — they were parsed, and possibly traced, earlier)."""
+    if not isinstance(sql_or_ast, str):
+        return sql_or_ast
+    tracer = exec_ctx.tracer
+    if tracer.enabled:
+        with tracer.span("parse", chars=len(sql_or_ast)):
+            return parse(sql_or_ast)
+    return parse(sql_or_ast)
 
 
 class Session:
@@ -247,90 +286,347 @@ class Session:
     ``max_concurrent`` queries in flight — concurrency and parallelism
     compose without oversubscribing the machine.
 
+    Observability: every query can run under a per-query span tracer
+    (``SessionConfig.trace`` / ``QueryOptions.trace`` /
+    ``REPRO_TRACE``), the session keeps a
+    :class:`~repro.obs.metrics.MetricsRegistry` scrapeable as
+    Prometheus text via :meth:`metrics_text`, and
+    ``explain(sql, analyze=True)`` executes the query under tracing
+    and annotates the plan with actual per-phase timings.
+
     ::
 
-        session = Session(catalog, budget_bytes=64 << 20, timeout=5.0,
-                          max_concurrent=8, workers=4, verify_rate=0.05)
+        config = SessionConfig(budget_bytes=64 << 20, timeout=5.0,
+                               max_concurrent=8, workers=4,
+                               verify_rate=0.05)
+        session = Session(catalog, config=config)
         session.execute(sql)   # cold: builds trees
-        session.execute(sql, priority="batch")   # warm: pure probes
-        print(session.explain(sql))  # plan + cache + gateway + health
+        session.execute(sql, options=QueryOptions(priority="batch"))
+        print(session.explain(sql, analyze=True))  # actual timings
+        print(session.metrics_text())              # Prometheus scrape
+
+    The pre-1.1 loose keyword form — ``Session(catalog, timeout=5.0,
+    workers=4, ...)`` and ``execute(sql, timeout=..., priority=...)`` —
+    keeps working through a shim that maps onto the dataclasses and
+    emits :class:`~repro.errors.ReproDeprecationWarning`.
     """
 
-    def __init__(self, catalog: Catalog, budget_bytes: Optional[int] = None,
-                 spill_dir: Optional[str] = None, spill: bool = True,
-                 timeout: Optional[float] = None,
-                 limits: Optional[ResourceLimits] = None,
-                 faults: Optional[FaultInjector] = None,
-                 clock: Any = None,
-                 max_concurrent: int = 4, max_queue: int = 16,
-                 queue_timeout: Optional[float] = None,
-                 breaker_threshold: int = 5, breaker_reset: float = 30.0,
-                 verify_rate: float = 0.0, verify_seed: int = 0,
-                 verify_reload: bool = True,
-                 workers: Optional[int] = None) -> None:
+    #: The pre-SessionConfig constructor keywords, accepted via the
+    #: deprecation shim and mapped 1:1 onto SessionConfig fields.
+    _LEGACY_KWARGS = (
+        "budget_bytes", "spill_dir", "spill", "timeout", "limits",
+        "faults", "clock", "max_concurrent", "max_queue",
+        "queue_timeout", "breaker_threshold", "breaker_reset",
+        "verify_rate", "verify_seed", "verify_reload", "workers")
+
+    def __init__(self, catalog: Catalog,
+                 config: Optional[SessionConfig] = None,
+                 **legacy: Any) -> None:
         from repro.cache.store import StructureCache
         from repro.parallel.scheduler import WindowScheduler
         from repro.resilience.circuit import BreakerRegistry
         from repro.resilience.gateway import QueryGateway
+
+        if legacy:
+            unknown = sorted(set(legacy) - set(self._LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"Session() got unexpected keyword argument(s) "
+                    f"{unknown}; see SessionConfig for the supported "
+                    f"fields")
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either config=SessionConfig(...) or the legacy "
+                    "keyword arguments, not both")
+            warnings.warn(
+                "passing loose keyword arguments to Session() is "
+                "deprecated; pass Session(catalog, "
+                "config=SessionConfig(...)) instead",
+                ReproDeprecationWarning, stacklevel=2)
+            config = SessionConfig(**legacy)
+        elif config is None:
+            config = SessionConfig()
+        self.config = config
         self.catalog = catalog
-        self.cache = StructureCache(budget_bytes=budget_bytes,
-                                    spill_dir=spill_dir, spill=spill,
-                                    verify_reload=verify_reload)
-        self.default_timeout = timeout
-        self.default_limits = limits
-        self.faults = faults
-        self.clock = clock
-        self.gateway = QueryGateway(max_concurrent=max_concurrent,
-                                    max_queue=max_queue,
-                                    queue_timeout=queue_timeout,
-                                    clock=clock)
-        self.breakers = BreakerRegistry(failure_threshold=breaker_threshold,
-                                        reset_timeout=breaker_reset,
-                                        clock=clock)
-        self.verify_rate = verify_rate
-        self.verify_seed = verify_seed
+        self.cache = StructureCache(budget_bytes=config.budget_bytes,
+                                    spill_dir=config.spill_dir,
+                                    spill=config.spill,
+                                    verify_reload=config.verify_reload)
+        self.default_timeout = config.timeout
+        self.default_limits = config.limits
+        self.faults = config.faults
+        self.clock = config.clock
+        self.gateway = QueryGateway(max_concurrent=config.max_concurrent,
+                                    max_queue=config.max_queue,
+                                    queue_timeout=config.queue_timeout,
+                                    clock=config.clock)
+        self.breakers = BreakerRegistry(
+            failure_threshold=config.breaker_threshold,
+            reset_timeout=config.breaker_reset,
+            clock=config.clock)
+        self.verify_rate = config.verify_rate
+        self.verify_seed = config.verify_seed
         #: One scheduler (and thread pool) per session: every admitted
         #: query shares it, so total worker threads stay bounded at
         #: ``workers`` no matter how large ``max_concurrent`` is.
-        self.parallel = WindowScheduler(workers=workers)
+        self.parallel = WindowScheduler(workers=config.workers)
         self.health = HealthCounters()
         self._health_lock = threading.Lock()
+        #: Tracing default for queries that don't override it per call:
+        #: the config switch, falling back to ``REPRO_TRACE``.
+        self.trace_default = (config.trace if config.trace is not None
+                              else trace_enabled_from_env())
+        self.metrics = None
+        if config.metrics:
+            from repro.obs import MetricsRegistry
+            self.metrics = MetricsRegistry()
+            self._init_metrics()
 
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
     def execute(self, sql_or_ast: Union[str, ast.SelectStmt],
+                options: Optional[QueryOptions] = None,
                 timeout: Optional[float] = None,
                 token: Optional[CancellationToken] = None,
                 limits: Optional[ResourceLimits] = None,
-                priority: str = "interactive") -> Table:
+                priority: Optional[str] = None,
+                trace: Optional[bool] = None) -> QueryResult:
         """Run one query under this session's guardrails.
 
-        ``timeout``/``limits`` default to the session-wide settings;
-        ``token`` allows another thread to cancel this query
-        cooperatively; ``priority`` selects the gateway admission class
-        (``interactive`` queries take freed slots before ``batch``
-        ones). The query's health counters are merged into the session
-        totals whether it succeeds, is shed, or fails."""
+        Pass a :class:`~repro.sql.config.QueryOptions` as ``options``;
+        the loose ``timeout``/``token``/``limits``/``priority`` keywords
+        are the pre-1.1 form and keep working (``timeout``/``limits``
+        default to the session-wide settings; ``token`` allows another
+        thread to cancel this query cooperatively; ``priority`` selects
+        the gateway admission class, ``interactive`` before ``batch``).
+
+        Returns a :class:`~repro.sql.result.QueryResult`: the result
+        table (transparently iterable/comparable like a bare ``Table``)
+        plus per-query ``.stats``, the span tree in ``.trace`` when the
+        query ran under tracing, and ``.explain()``. The query's health
+        counters merge into the session totals whether it succeeds, is
+        shed, or fails."""
+        if options is None:
+            options = QueryOptions(
+                timeout=timeout, token=token, limits=limits,
+                priority="interactive" if priority is None else priority,
+                trace=trace)
+        elif (timeout is not None or token is not None
+              or limits is not None or priority is not None
+              or trace is not None):
+            raise ConfigurationError(
+                "pass either options=QueryOptions(...) or the loose "
+                "keyword arguments, not both")
+        return self._run(sql_or_ast, options)
+
+    def _run(self, sql_or_ast: Union[str, ast.SelectStmt],
+             options: QueryOptions) -> QueryResult:
+        trace_on = (options.trace if options.trace is not None
+                    else self.trace_default)
+        tracer = Tracer(clock=self.clock,
+                        max_spans=self.config.trace_max_spans) \
+            if trace_on else None
         context = ExecutionContext(
-            timeout=timeout if timeout is not None else self.default_timeout,
-            token=token,
-            limits=limits if limits is not None else self.default_limits,
+            timeout=(options.timeout if options.timeout is not None
+                     else self.default_timeout),
+            token=options.token,
+            limits=(options.limits if options.limits is not None
+                    else self.default_limits),
             faults=self.faults,
             clock=self.clock,
             breakers=self.breakers,
             verify_rate=self.verify_rate,
-            verify_seed=self.verify_seed)
+            verify_seed=self.verify_seed,
+            tracer=tracer)
+        clock = context.clock
+        started = clock.monotonic()
+        outcome = "error"
+        table: Optional[Table] = None
+        stmt: Optional[ast.SelectStmt] = None
+        try:
+            stmt = _parse_traced(sql_or_ast, context)
+            with self.gateway.admit(context, priority=options.priority):
+                table = execute(stmt, self.catalog, cache=self.cache,
+                                context=context, parallel=self.parallel)
+            outcome = "ok"
+        except QueryRejectedError:
+            outcome = "shed"
+            raise
+        except QueryTimeoutError:
+            outcome = "timeout"
+            raise
+        except QueryCancelledError:
+            outcome = "cancelled"
+            raise
+        except ResourceLimitError:
+            outcome = "limit"
+            raise
+        finally:
+            if tracer is not None:
+                tracer.finish()
+            elapsed = clock.monotonic() - started
+            with self._health_lock:
+                self.health.merge(context.health)
+            self._observe_query(outcome, elapsed, context)
+        stats = QueryStats(elapsed, options.priority, context.health,
+                           context.telemetry.snapshot(), outcome)
+        result = QueryResult(table, stats,
+                             trace=tracer.root if tracer else None)
+        result._explainer = lambda: self._explain_text(stmt,
+                                                       analysis=result)
+        return result
+
+    def _observe_query(self, outcome: str, elapsed: float,
+                       context: ExecutionContext) -> None:
+        if self.metrics is None:
+            return
+        self._m_queries.inc(outcome=outcome)
+        self._m_latency.observe(elapsed)
+        self._m_queue_wait.observe(context.telemetry.queue_wait_seconds)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def explain(self, sql_or_ast: Union[str, ast.SelectStmt],
+                analyze: bool = False,
+                options: Optional[QueryOptions] = None) -> str:
+        """The query plan, with session-lifetime counters.
+
+        With ``analyze=True`` the query actually executes under tracing
+        (through normal gateway admission) and each plan node / EXPLAIN
+        section is annotated with this execution's wall times and
+        build/reuse/spill counts.
+
+        Plain ``explain`` also runs through execute-style admission —
+        under its own :class:`ExecutionContext` with the session
+        deadline, inside a gateway slot — so a hostile plan cannot use
+        it to bypass ``max_concurrent``. Fault injection stays out of
+        it: injected faults target execution, not introspection."""
+        if analyze:
+            base = options if options is not None else QueryOptions()
+            return self._run(sql_or_ast, base.replace(trace=True)).explain()
+        priority = options.priority if options is not None else "interactive"
+        context = ExecutionContext(
+            timeout=self.default_timeout,
+            limits=self.default_limits,
+            clock=self.clock,
+            breakers=self.breakers)
         try:
             with self.gateway.admit(context, priority=priority):
-                return execute(sql_or_ast, self.catalog, cache=self.cache,
-                               context=context, parallel=self.parallel)
+                with activate(context):
+                    return self._explain_text(sql_or_ast)
         finally:
             with self._health_lock:
                 self.health.merge(context.health)
 
-    def explain(self, sql_or_ast: Union[str, ast.SelectStmt]) -> str:
+    def _explain_text(self, sql_or_ast: Union[str, ast.SelectStmt],
+                      analysis: Optional[QueryResult] = None) -> str:
         from repro.sql.explain import explain as _explain
         return _explain(sql_or_ast, cache=self.cache, health=self.health,
                         gateway=self.gateway, breakers=self.breakers,
-                        parallel=self.parallel)
+                        parallel=self.parallel, analysis=analysis)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._m_queries = m.counter(
+            "repro_queries_total", "Queries finished, by outcome.",
+            ["outcome"])
+        self._m_latency = m.histogram(
+            "repro_query_seconds", "Query wall-clock latency in seconds.")
+        self._m_queue_wait = m.histogram(
+            "repro_queue_wait_seconds",
+            "Gateway admission queue wait in seconds.")
+        cache_hits = m.counter("repro_cache_hits_total",
+                               "Structure cache hits.")
+        cache_misses = m.counter("repro_cache_misses_total",
+                                 "Structure cache misses.")
+        cache_evictions = m.counter("repro_cache_evictions_total",
+                                    "Structure cache evictions.")
+        cache_spills = m.counter("repro_cache_spills_total",
+                                 "Structures spilled to disk.")
+        cache_reloads = m.counter("repro_cache_reloads_total",
+                                  "Structures reloaded from spill.")
+        cache_bytes = m.gauge("repro_cache_bytes_in_use",
+                              "Bytes held by cached structures.")
+        cache_entries = m.gauge("repro_cache_entries",
+                                "Cached structures, by residence.",
+                                ["state"])
+        hit_ratio = m.gauge("repro_cache_hit_ratio",
+                            "Lifetime structure-cache hit ratio.")
+        g_active = m.gauge("repro_gateway_active",
+                           "Queries currently executing.")
+        g_queued = m.gauge("repro_gateway_queued",
+                           "Queries parked in the admission queue.",
+                           ["priority"])
+        g_admitted = m.counter("repro_gateway_admitted_total",
+                               "Queries admitted.", ["priority"])
+        g_shed = m.counter("repro_gateway_shed_total",
+                           "Queries shed.", ["priority"])
+        b_state = m.gauge(
+            "repro_breaker_state",
+            "Breaker state (0 closed, 1 open, 2 half-open).",
+            ["resource"])
+        b_trips = m.counter("repro_breaker_trips_total",
+                            "Breaker trips.", ["resource"])
+        p_workers = m.gauge("repro_pool_workers",
+                            "Window pool worker threads.")
+        p_morsels = m.counter("repro_pool_morsels_total",
+                              "Morsel tasks run.")
+        p_groups = m.counter("repro_pool_groups_total",
+                             "Window groups scheduled, by strategy.",
+                             ["strategy"])
+        breaker_states = {"closed": 0, "open": 1, "half-open": 2}
+
+        def collect() -> None:
+            from repro.resilience.gateway import PRIORITIES
+            cs = self.cache.stats()
+            cache_hits.set_total(cs.hits)
+            cache_misses.set_total(cs.misses)
+            cache_evictions.set_total(cs.evictions)
+            cache_spills.set_total(cs.spills)
+            cache_reloads.set_total(cs.reloads)
+            cache_bytes.set(cs.bytes_in_use)
+            cache_entries.set(cs.entries - cs.spilled_entries,
+                              state="resident")
+            cache_entries.set(cs.spilled_entries, state="spilled")
+            lookups = cs.hits + cs.misses
+            hit_ratio.set(cs.hits / lookups if lookups else 0.0)
+            gs = self.gateway.stats()
+            g_active.set(gs.active)
+            for cls in PRIORITIES:
+                g_queued.set(gs.queued_now.get(cls, 0), priority=cls)
+                g_admitted.set_total(gs.admitted_by_class.get(cls, 0),
+                                     priority=cls)
+                g_shed.set_total(gs.shed_by_class.get(cls, 0),
+                                 priority=cls)
+            for snap in self.breakers.snapshots():
+                b_state.set(breaker_states.get(snap.state, -1),
+                            resource=snap.name)
+                b_trips.set_total(snap.trips, resource=snap.name)
+            ps = self.parallel.stats()
+            p_workers.set(ps.workers)
+            p_morsels.set_total(ps.morsels_run)
+            p_groups.set_total(ps.serial_groups, strategy="serial")
+            p_groups.set_total(ps.inter_groups,
+                               strategy="inter-partition")
+            p_groups.set_total(ps.intra_groups,
+                               strategy="intra-partition")
+
+        m.add_collector(collect)
+
+    def metrics_text(self) -> str:
+        """The session's metrics in Prometheus text exposition format
+        ('' when metrics are disabled)."""
+        return self.metrics.expose() if self.metrics is not None else ""
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The session's metrics as a JSON-able dict ({} when metrics
+        are disabled)."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
 
     def cache_stats(self):
         return self.cache.stats()
@@ -468,6 +764,10 @@ def _execute_from(from_: Optional[ast.TableExpr], ctx: Context) -> Relation:
             relation, _ = ctx.ctes[key]
             return relation.requalified(qualifier)
         table = ctx.catalog.lookup(from_.name)
+        tracer = current_context().tracer
+        if tracer.enabled:
+            tracer.event("scan", table=from_.name.lower(),
+                         rows=table.num_rows)
         return Relation.from_table(table, qualifier)
     if isinstance(from_, ast.DerivedTable):
         relation, _ = execute_select(from_.select, ctx)
@@ -746,21 +1046,28 @@ def _execute_windows(exprs: Sequence[ast.Expr],
             if node not in nodes:
                 nodes.append(node)
 
-    builder = _WindowBuilder(relation, ctx)
-    plan: List[Tuple[WindowCall, WindowSpec]] = []
-    for node in nodes:
-        window = node.window
-        if isinstance(window, str):
-            try:
-                window = windows[window.lower()]
-            except KeyError:
-                raise SqlAnalysisError(
-                    f"unknown window name {node.window!r}") from None
-        call = builder.translate_call(node.func)
-        spec = builder.translate_spec(window)
-        plan.append((call, spec))
+    tracer = current_context().tracer
+    plan_span = tracer.span("plan", calls=len(nodes), rows=relation.n) \
+        if tracer.enabled else None
+    try:
+        builder = _WindowBuilder(relation, ctx)
+        plan: List[Tuple[WindowCall, WindowSpec]] = []
+        for node in nodes:
+            window = node.window
+            if isinstance(window, str):
+                try:
+                    window = windows[window.lower()]
+                except KeyError:
+                    raise SqlAnalysisError(
+                        f"unknown window name {node.window!r}") from None
+            call = builder.translate_call(node.func)
+            spec = builder.translate_spec(window)
+            plan.append((call, spec))
 
-    table, name_map = builder.build_table()
+        table, name_map = builder.build_table()
+    finally:
+        if plan_span is not None:
+            plan_span.__exit__(None, None, None)
     operator = WindowOperator(table, cache=ctx.cache, parallel=ctx.parallel)
     outputs = []
     for index, (call, spec) in enumerate(plan):

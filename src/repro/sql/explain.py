@@ -9,7 +9,7 @@ O(n^2) nested-loop / correlated-subquery shapes the paper describes.
 
 from __future__ import annotations
 
-from typing import Any, List, Union
+from typing import Any, List, Optional, Union
 
 from repro.sql import ast
 from repro.sql.aggregates import is_aggregate_name
@@ -19,7 +19,7 @@ from repro.sql.parser import parse
 def explain(sql_or_ast: Union[str, ast.SelectStmt],
             cache: Any = None, health: Any = None,
             gateway: Any = None, breakers: Any = None,
-            parallel: Any = None) -> str:
+            parallel: Any = None, analysis: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
@@ -47,10 +47,20 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
     scheduled window group, the chosen strategy (serial /
     inter-partition / intra-partition), morsel count, and the reason a
     group stayed serial — so the scheduler's real decisions are
-    inspectable, not just its configuration."""
+    inspectable, not just its configuration.
+
+    ``analysis`` (a :class:`~repro.sql.result.QueryResult` from an
+    actual execution, as produced by ``Session.explain(sql,
+    analyze=True)``) turns the rendering into EXPLAIN ANALYZE: plan
+    nodes are annotated with that execution's actual row counts and
+    wall times, and an ``Execution (actual)`` section summarises the
+    per-phase timings, cache build/reuse counts, spill traffic, and
+    scheduler decisions recorded by the query's trace."""
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     lines: List[str] = []
     _render_select(stmt, lines, 0)
+    if analysis is not None:
+        _annotate_plan(lines, analysis)
     if cache is not None:
         lines.append("StructureCache")
         for line in cache.stats().render():
@@ -79,7 +89,91 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
             lines.append("Parallelism")
             for line in stats.render():
                 lines.append("  " + line)
+    if analysis is not None:
+        lines.extend(_execution_section(analysis))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE: annotate the plan with one execution's trace
+# ----------------------------------------------------------------------
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f}ms"
+
+
+def _annotate_plan(lines: List[str], analysis: Any) -> None:
+    """Append ``(actual: ...)`` suffixes to plan nodes in place.
+
+    The executor interprets the statement as a whole, so actual
+    figures attach at the granularity the trace records them: the
+    query total on the first ``Project``, window-group timings and
+    structure build/reuse counts on the first ``Window``, and scanned
+    row counts on each ``Scan`` (matched by table name, in order)."""
+    root = getattr(analysis, "trace", None)
+    stats = getattr(analysis, "stats", None)
+    if root is None:
+        return
+    scans = list(root.find_all("scan"))
+    groups = root.find_all("window.group")
+    annotated_project = False
+    annotated_window = False
+    for i, line in enumerate(lines):
+        text = line.lstrip()
+        if text.startswith("Project (") and not annotated_project:
+            annotated_project = True
+            lines[i] = (f"{line} (actual: rows={len(analysis)}, "
+                        f"total={_ms(root.duration)})")
+        elif text.startswith("Window (") and not annotated_window:
+            annotated_window = True
+            group_time = sum(span.duration for span in groups)
+            parts = [f"groups={len(groups)}", f"time={_ms(group_time)}"]
+            if stats is not None:
+                parts.append(f"builds={stats.structure_builds}")
+                parts.append(f"reuses={stats.structure_reuses}")
+            lines[i] = f"{line} (actual: {', '.join(parts)})"
+        elif text.startswith("Scan "):
+            name = text.split()[1].lower()
+            for j, event in enumerate(scans):
+                if event.attrs.get("table") == name:
+                    rows = event.attrs.get("rows", "?")
+                    lines[i] = f"{line} (actual: rows={rows})"
+                    scans.pop(j)
+                    break
+
+
+def _execution_section(analysis: Any) -> List[str]:
+    """The ``Execution (actual)`` EXPLAIN section for one execution."""
+    lines = ["Execution (actual)"]
+    stats = getattr(analysis, "stats", None)
+    if stats is not None:
+        for entry in stats.render().splitlines():
+            lines.append("  " + entry)
+    root = getattr(analysis, "trace", None)
+    if root is None:
+        return lines
+    phase_order = ["gateway.wait", "parse", "plan", "partition",
+                   "window.group", "structure.build", "probe",
+                   "spill.write", "spill.read", "parallel.morsel"]
+    totals = {name: [0, 0.0] for name in phase_order}
+    for span in root.walk():
+        bucket = totals.get(span.name)
+        if bucket is not None:
+            bucket[0] += 1
+            bucket[1] += span.duration
+    phases = [f"{name}={_ms(total)} (x{count})"
+              for name, (count, total) in totals.items() if count]
+    if phases:
+        lines.append("  phases: " + " ".join(phases))
+    reuses = len(root.find_all("structure.reuse"))
+    builds = root.find_all("structure.build")
+    for span in builds:
+        key = span.attrs.get("key")
+        suffix = f" key={key}" if key is not None else ""
+        lines.append(f"  structure.build {span.attrs.get('kind', '?')}"
+                     f"{suffix} {_ms(span.duration)}")
+    if reuses:
+        lines.append(f"  structure.reuse x{reuses}")
+    return lines
 
 
 def _emit(lines: List[str], depth: int, text: str) -> None:

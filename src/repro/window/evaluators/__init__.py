@@ -36,6 +36,17 @@ def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
     """
     ctx = current_context()
     ctx.checkpoint()
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return _evaluate_call(ctx, call, part)
+    with tracer.span("probe", function=call.function,
+                     family=call.family, algorithm=call.algorithm,
+                     rows=part.n):
+        return _evaluate_call(ctx, call, part)
+
+
+def _evaluate_call(ctx, call: WindowCall,
+                   part: PartitionView) -> List[Any]:
     try:
         result = _dispatch(call, part)
     except FALLBACK_ERRORS as exc:
@@ -45,6 +56,9 @@ def evaluate_call(call: WindowCall, part: PartitionView) -> List[Any]:
         ctx.record_fallback(
             f"{call.function}[{call.algorithm}] -> naive "
             f"({type(exc).__name__}: {exc})")
+        if ctx.tracer.enabled:
+            ctx.tracer.annotate(fallback="naive",
+                                fallback_cause=type(exc).__name__)
         return _dispatch(fallback, part)
     if call.algorithm != "naive" and ctx.shadow_sample():
         _shadow_verify(ctx, call, part, result)

@@ -18,7 +18,8 @@ from repro.errors import WindowFunctionError
 from repro.mst.aggregates import AggregateSpec
 from repro.segtree.tree import SegmentTree
 from repro.window.calls import WindowCall
-from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.evaluators.common import (CallInput, annotate_probe,
+                                             infer_scalar)
 from repro.window.partition import PartitionView
 from repro.resilience.context import current_context
 
@@ -27,6 +28,7 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     name = call.function
     skip_nulls = name not in ("count_star",)
     inputs = CallInput(call, part, skip_null_arg=skip_nulls and bool(call.args))
+    annotate_probe(inputs)
     if call.algorithm == "naive":
         return _evaluate_naive(call, part, inputs)
     if name in ("count", "count_star"):

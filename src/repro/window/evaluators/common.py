@@ -9,6 +9,7 @@ import numpy as np
 from repro.errors import WindowFunctionError
 from repro.preprocess.permutation import permutation_array
 from repro.preprocess.remap import IndexRemap
+from repro.resilience.context import current_context
 from repro.resilience.guard import guarded_builder
 from repro.sortutil import SortColumn
 from repro.window.calls import WindowCall
@@ -165,10 +166,24 @@ class CallInput:
         guarded = guarded_builder(kind, builder)
         acquirer = self.part.structures
         if acquirer is None:
+            tracer = current_context().tracer
+            if tracer.enabled:
+                # Cacheless build: still worth a timed span (keyless —
+                # there is no cache key without an acquirer).
+                with tracer.span("structure.build", kind=kind):
+                    return guarded()
             return guarded()
         config = ((tuple(self.call.args), self.call.filter_where,
                    self.skip_null_arg) + tuple(extra))
         return acquirer.acquire(kind, config, guarded)
+
+
+def annotate_probe(inputs: "CallInput", **extra: Any) -> None:
+    """Attach a family's per-call input shape to the open ``probe``
+    span (no-op — one attribute test — when tracing is off)."""
+    tracer = current_context().tracer
+    if tracer.enabled:
+        tracer.annotate(kept=int(inputs.n_kept), **extra)
 
 
 def infer_scalar(value: Any) -> Any:

@@ -33,7 +33,8 @@ from repro.preprocess.occurrences import (
 )
 from repro.window.calls import WindowCall
 from repro.window.evaluators import aggregates as plain_aggregates
-from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.evaluators.common import (CallInput, annotate_probe,
+                                             infer_scalar)
 from repro.window.partition import PartitionView
 from repro.resilience.context import current_context
 
@@ -46,6 +47,7 @@ def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
         # DISTINCT never changes MIN/MAX.
         return plain_aggregates.evaluate(call, part)
     inputs = CallInput(call, part, skip_null_arg=bool(call.args))
+    annotate_probe(inputs)
     if call.algorithm == "naive":
         return _evaluate_naive(call, part, inputs)
     if call.algorithm == "incremental":

@@ -18,13 +18,15 @@ from typing import Any, Dict, List
 from repro.errors import WindowFunctionError
 from repro.rangemode import IncrementalMode, RangeModeIndex
 from repro.window.calls import WindowCall
-from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.evaluators.common import (CallInput, annotate_probe,
+                                             infer_scalar)
 from repro.window.partition import PartitionView
 from repro.resilience.context import current_context
 
 
 def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     inputs = CallInput(call, part, skip_null_arg=True)
+    annotate_probe(inputs)
     if call.algorithm == "naive":
         return _evaluate_naive(call, part, inputs)
     if call.algorithm == "incremental":

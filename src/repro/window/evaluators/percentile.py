@@ -25,7 +25,8 @@ from repro.mst.tree import MergeSortTree
 from repro.ostree.windowed import windowed_kth_ostree
 from repro.segtree.holistic import HolisticSegmentTree
 from repro.window.calls import WindowCall
-from repro.window.evaluators.common import CallInput, infer_scalar
+from repro.window.evaluators.common import (CallInput, annotate_probe,
+                                             infer_scalar)
 from repro.window.partition import PartitionView
 from repro.resilience.context import current_context
 
@@ -42,6 +43,7 @@ def _continuous(call: WindowCall) -> bool:
 
 def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     inputs = CallInput(call, part, skip_null_arg=True)
+    annotate_probe(inputs)
     fraction = _fraction(call)
     if call.algorithm == "naive":
         return _evaluate_naive(call, part, inputs, fraction)

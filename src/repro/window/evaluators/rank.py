@@ -21,7 +21,7 @@ from repro.ostree.windowed import windowed_rank_ostree
 from repro.preprocess.rankkeys import dense_rank_keys, row_number_keys
 from repro.rangetree.dense import DenseRankIndex
 from repro.window.calls import WindowCall
-from repro.window.evaluators.common import CallInput
+from repro.window.evaluators.common import CallInput, annotate_probe
 from repro.window.partition import PartitionView
 
 _TREE_FANOUT = 2
@@ -29,6 +29,7 @@ _TREE_FANOUT = 2
 
 def evaluate(call: WindowCall, part: PartitionView) -> List[Any]:
     inputs = CallInput(call, part, skip_null_arg=False)
+    annotate_probe(inputs)
     name = call.function
     unique_keys = name in ("row_number", "ntile")
     sort_columns = inputs.function_sort_columns()

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import FrameError, WindowFunctionError
+from repro.obs import NULL_SPAN
 from repro.parallel.probes import SERIAL_PROBES, ProbeKernels
 from repro.parallel.scheduler import (
     INTER_PARTITION,
@@ -176,36 +177,47 @@ def _evaluate_group(table: Table, spec: WindowSpec,
                     parallel: Optional[WindowScheduler] = None
                     ) -> List[List[Any]]:
     n = table.num_rows
+    ctx = current_context()
+    tracer = ctx.tracer
     group_key = None
     if cache is not None:
         from repro.cache.fingerprint import window_group_key
         group_key = window_group_key(table, spec, calls)
-    partition_columns = []
-    for name in spec.partition_by:
-        values, validity = _column_data(table, name)
-        partition_columns.append(SortColumn(values, validity=validity))
-    order_columns = []
-    for item in spec.order_by:
-        values, validity = _column_data(table, name=item.column)
-        order_columns.append(SortColumn(values, descending=item.descending,
-                                        nulls_last=item.resolved_nulls_last(),
-                                        validity=validity))
-    order = stable_argsort(partition_columns + order_columns, n)
+    partition_span = tracer.span("partition", rows=n) \
+        if tracer.enabled else None
+    try:
+        partition_columns = []
+        for name in spec.partition_by:
+            values, validity = _column_data(table, name)
+            partition_columns.append(SortColumn(values, validity=validity))
+        order_columns = []
+        for item in spec.order_by:
+            values, validity = _column_data(table, name=item.column)
+            order_columns.append(
+                SortColumn(values, descending=item.descending,
+                           nulls_last=item.resolved_nulls_last(),
+                           validity=validity))
+        order = stable_argsort(partition_columns + order_columns, n)
 
-    # Partition boundaries along the sorted order.
-    if partition_columns:
-        partition_ids = sorted_equal_runs(partition_columns, order)
-    else:
-        partition_ids = np.zeros(n, dtype=np.int64)
+        # Partition boundaries along the sorted order.
+        if partition_columns:
+            partition_ids = sorted_equal_runs(partition_columns, order)
+        else:
+            partition_ids = np.zeros(n, dtype=np.int64)
 
-    frame = spec.effective_frame()
-    all_column_data = {name: _column_data(table, name)
-                       for name in table.schema.names()}
+        frame = spec.effective_frame()
+        all_column_data = {name: _column_data(table, name)
+                           for name in table.schema.names()}
 
-    boundaries = np.flatnonzero(
-        np.r_[True, partition_ids[1:] != partition_ids[:-1]])
-    starts = np.append(boundaries, n)
-    sizes = np.diff(starts)
+        boundaries = np.flatnonzero(
+            np.r_[True, partition_ids[1:] != partition_ids[:-1]])
+        starts = np.append(boundaries, n)
+        sizes = np.diff(starts)
+        if partition_span is not None:
+            partition_span.annotate(partitions=len(sizes))
+    finally:
+        if partition_span is not None:
+            partition_span.__exit__(None, None, None)
 
     scheduler = parallel if parallel is not None else default_scheduler()
     decision = scheduler.choose(sizes, len(calls))
@@ -236,31 +248,37 @@ def _evaluate_group(table: Table, spec: WindowSpec,
             if acquirer is not None:
                 acquirer.release_all()
 
-    ctx = current_context()
-    if decision.strategy == INTER_PARTITION:
-        plan = decision.plan
+    group_span = tracer.span(
+        "window.group", strategy=decision.strategy,
+        partitions=len(sizes), rows=n, calls=len(calls),
+        morsels=decision.morsels) if tracer.enabled else NULL_SPAN
+    with group_span:
+        if decision.strategy == INTER_PARTITION:
+            plan = decision.plan
 
-        def run_morsel(m: int) -> None:
-            # Morsel tasks run partitions whole with serial probe
-            # kernels: nested fan-out into the same bounded pool from a
-            # pool thread could deadlock, and whole-partition tasks are
-            # already the unit of parallelism here.
-            morsel_ctx = current_context()
-            for p in plan[m]:
-                morsel_ctx.checkpoint()
-                evaluate_partition(int(p), SERIAL_PROBES)
+            def run_morsel(m: int) -> None:
+                # Morsel tasks run partitions whole with serial probe
+                # kernels: nested fan-out into the same bounded pool
+                # from a pool thread could deadlock, and
+                # whole-partition tasks are already the unit of
+                # parallelism here.
+                morsel_ctx = current_context()
+                for p in plan[m]:
+                    morsel_ctx.checkpoint()
+                    evaluate_partition(int(p), SERIAL_PROBES)
 
-        scheduler.run_morsels(run_morsel, len(plan))
-    else:
-        probes = (scheduler.intra_probes(decision)
-                  if decision.strategy == INTRA_PARTITION
-                  else SERIAL_PROBES)
-        for p in range(len(sizes)):
-            # Partition boundaries are the operator's batch boundaries:
-            # an expired deadline or cancellation surfaces here rather
-            # than hanging through the remaining partitions.
-            ctx.checkpoint()
-            evaluate_partition(p, probes)
+            scheduler.run_morsels(run_morsel, len(plan))
+        else:
+            probes = (scheduler.intra_probes(decision)
+                      if decision.strategy == INTRA_PARTITION
+                      else SERIAL_PROBES)
+            for p in range(len(sizes)):
+                # Partition boundaries are the operator's batch
+                # boundaries: an expired deadline or cancellation
+                # surfaces here rather than hanging through the
+                # remaining partitions.
+                ctx.checkpoint()
+                evaluate_partition(p, probes)
     return [buffer.finish() for buffer in buffers]
 
 

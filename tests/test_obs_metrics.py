@@ -1,0 +1,160 @@
+"""The metrics registry: counters, gauges, histograms, exposition."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "metrics.prom")
+
+
+def seeded_registry() -> MetricsRegistry:
+    """A registry with a fixed population — shared by the golden test."""
+    registry = MetricsRegistry()
+    queries = registry.counter("repro_queries_total",
+                               "Queries finished, by outcome.",
+                               labelnames=("outcome",))
+    queries.inc(outcome="ok")
+    queries.inc(outcome="ok")
+    queries.inc(outcome="timeout")
+    bytes_in_use = registry.gauge("repro_cache_bytes_in_use",
+                                  "Resident structure bytes.")
+    bytes_in_use.set(2048)
+    latency = registry.histogram("repro_query_seconds",
+                                 "Query wall time.",
+                                 buckets=(0.005, 0.05, 0.5))
+    latency.observe(0.004)
+    latency.observe(0.04)
+    latency.observe(0.04)
+    latency.observe(9.0)
+    return registry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c", labelnames=("k",))
+        counter.inc(k="a")
+        counter.inc(2.5, k="a")
+        assert counter.value(k="a") == pytest.approx(3.5)
+        assert counter.value(k="other") == 0.0
+
+    def test_set_total_mirrors_an_external_count(self):
+        counter = MetricsRegistry().counter("c")
+        counter.set_total(41)
+        counter.inc()
+        assert counter.value() == 42
+
+    def test_wrong_label_set_raises(self):
+        counter = MetricsRegistry().counter("c", labelnames=("k",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(wrong="x")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_goes_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value() == 3
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        (snap,) = histogram.snapshot_into()
+        assert snap["buckets"] == {"1": 1, "10": 2, "100": 3}
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(555.5)
+
+    def test_default_buckets_are_sorted_latency_shaped(self):
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+        assert DEFAULT_BUCKETS[0] == 0.001
+        assert DEFAULT_BUCKETS[-1] == 10.0
+
+
+class TestRegistry:
+    def test_getters_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", labelnames=("k",))
+        again = registry.counter("c", labelnames=("k",))
+        assert first is again
+
+    def test_type_or_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("k",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("c", labelnames=("k",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("c", labelnames=("other",))
+
+    def test_collectors_run_at_scrape_time(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live")
+        state = {"value": 1}
+        registry.add_collector(lambda: gauge.set(state["value"]))
+        assert "live 1" in registry.expose()
+        state["value"] = 7
+        assert "live 7" in registry.expose()
+
+    def test_exposition_matches_the_golden_file(self):
+        text = seeded_registry().expose()
+        with open(GOLDEN) as handle:
+            assert text == handle.read()
+
+    def test_exposition_is_sorted_and_stable(self):
+        first = seeded_registry().expose()
+        second = seeded_registry().expose()
+        assert first == second
+        names = [line.split(" ", 2)[2].split(" ")[0]
+                 for line in first.splitlines()
+                 if line.startswith("# TYPE")]
+        assert names == sorted(names)
+
+    def test_series_sorted_by_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labelnames=("k",))
+        counter.inc(k="zebra")
+        counter.inc(k="apple")
+        lines = [line for line in registry.expose().splitlines()
+                 if line.startswith("c{")]
+        assert lines == ['c{k="apple"} 1', 'c{k="zebra"} 1']
+
+    def test_json_snapshot(self):
+        payload = json.loads(seeded_registry().to_json())
+        queries = payload["repro_queries_total"]
+        assert queries["type"] == "counter"
+        assert queries["series"] == [
+            {"labels": {"outcome": "ok"}, "value": 2.0},
+            {"labels": {"outcome": "timeout"}, "value": 1.0},
+        ]
+
+    def test_thread_safety_under_concurrent_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", labelnames=("k",))
+        counter.inc(k='quo"te\nnew')
+        line = [ln for ln in registry.expose().splitlines()
+                if ln.startswith("c{")][0]
+        assert line == 'c{k="quo\\"te\\nnew"} 1'

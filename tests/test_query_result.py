@@ -1,0 +1,130 @@
+"""QueryResult: transparent table delegation plus execution record."""
+
+import pytest
+
+from repro.sql import Catalog, QueryResult, Session, SessionConfig, execute
+from repro.table import DataType, Table
+
+SQL = ("SELECT g, sum(v) OVER (PARTITION BY g ORDER BY v "
+       "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS s FROM t")
+
+
+def _catalog():
+    table = Table.from_dict({
+        "g": (DataType.INT64, [1, 1, 2, 2, 2]),
+        "v": (DataType.INT64, [5, 3, 8, 1, 4]),
+    })
+    return Catalog({"t": table})
+
+
+@pytest.fixture
+def session():
+    with Session(_catalog(), config=SessionConfig()) as session:
+        yield session
+
+
+class TestDelegation:
+    def test_execute_returns_a_query_result(self, session):
+        result = session.execute(SQL)
+        assert isinstance(result, QueryResult)
+
+    def test_length_iteration_and_columns(self, session):
+        result = session.execute(SQL)
+        assert len(result) == 5
+        assert result.num_rows == 5
+        assert len(list(result.rows())) == 5
+        assert result.column("s").to_list() == [8, 3, 12, 1, 5]
+        assert result["s"].to_list() == [8, 3, 12, 1, 5]
+        assert [f.name for f in result.schema.fields] == ["g", "s"]
+
+    def test_equality_with_a_plain_table(self, session):
+        result = session.execute(SQL)
+        table = execute(SQL, _catalog())
+        # Both directions: QueryResult.__eq__ and Table's reflected side.
+        assert result == table
+        assert table == result
+        assert result == session.execute(SQL)
+        assert (result != table) is False
+
+
+class TestStats:
+    def test_stats_record_the_execution(self, session):
+        result = session.execute(SQL)
+        stats = result.stats
+        assert stats.outcome == "ok"
+        assert stats.priority == "interactive"
+        assert stats.elapsed_seconds >= 0.0
+        assert stats.structure_builds >= 1
+        assert stats.cache_misses >= 1
+        assert stats.strategies  # one window group was scheduled
+        assert stats.parallel_strategy in (
+            "serial", "inter-partition", "intra-partition")
+
+    def test_cache_reuse_shows_up_on_the_second_run(self, session):
+        session.execute(SQL)
+        warm = session.execute(SQL)
+        assert warm.stats.structure_reuses >= 1
+        assert warm.stats.structure_builds == 0
+
+    def test_stats_render_and_to_dict(self, session):
+        stats = session.execute(SQL).stats
+        text = stats.render()
+        assert "outcome=ok" in text
+        assert "structures:" in text
+        payload = stats.to_dict()
+        assert payload["outcome"] == "ok"
+        assert isinstance(payload["health"], list)
+
+
+class TestTrace:
+    def test_untraced_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with Session(_catalog()) as session:
+            result = session.execute(SQL)
+        assert result.trace is None
+        assert result.render_trace() == ""
+        assert result.trace_dict() is None
+
+    def test_env_flag_enables_session_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with Session(_catalog()) as session:
+            assert session.execute(SQL).trace is not None
+
+    def test_per_query_trace_override(self, session):
+        result = session.execute(SQL, trace=True)
+        assert result.trace is not None
+        names = {span.name for span in result.trace.walk()}
+        assert {"query", "parse", "gateway.wait", "plan", "partition",
+                "window.group", "probe"} <= names
+        assert "probe" in result.render_trace()
+        assert result.trace_dict()["name"] == "query"
+
+    def test_session_wide_tracing(self):
+        config = SessionConfig(trace=True)
+        with Session(_catalog(), config=config) as session:
+            assert session.execute(SQL).trace is not None
+            # ... and the per-query override still wins.
+            assert session.execute(SQL, trace=False).trace is None
+
+    def test_result_explain_is_annotated_when_traced(self, session):
+        result = session.execute(SQL, trace=True)
+        text = result.explain()
+        assert "Execution (actual)" in text
+        assert "(actual: rows=5" in text
+
+    def test_result_explain_without_trace_still_renders(self, session):
+        text = session.execute(SQL).explain()
+        assert "Project" in text
+        assert "Execution (actual)" in text  # stats are always recorded
+
+    def test_bare_result_has_no_explainer(self, session):
+        from repro.sql.result import QueryResult as QR
+        result = QR(session.execute(SQL).table,
+                    session.execute(SQL).stats)
+        assert "no plan captured" in result.explain()
+
+
+class TestModuleExecuteCompatibility:
+    def test_module_execute_still_returns_a_table(self):
+        out = execute(SQL, _catalog())
+        assert isinstance(out, Table)
