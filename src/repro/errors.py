@@ -11,7 +11,16 @@ from typing import List, Optional
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Every subclass carries a stable, machine-readable ``code`` class
+    attribute. Wire layers (the :mod:`repro.serve` HTTP front end, any
+    future client) map exceptions to protocol responses by this code
+    instead of string-matching messages, so messages stay free to
+    change. Codes are SCREAMING_SNAKE_CASE and never reused for a
+    different meaning once published."""
+
+    code = "INTERNAL"
 
 
 class ConfigurationError(ReproError, ValueError):
@@ -23,6 +32,8 @@ class ConfigurationError(ReproError, ValueError):
     with spilling disabled) fails before any query runs rather than
     deep inside execution. Also a :class:`ValueError` so pre-dataclass
     call sites that caught ``ValueError`` keep working."""
+
+    code = "INVALID_CONFIG"
 
 
 class ReproDeprecationWarning(DeprecationWarning):
@@ -40,25 +51,37 @@ class ReproDeprecationWarning(DeprecationWarning):
 class SchemaError(ReproError):
     """A table or column was used in a way incompatible with its schema."""
 
+    code = "SCHEMA"
+
 
 class TypeMismatchError(SchemaError):
     """A value of the wrong type was inserted into a typed column."""
+
+    code = "TYPE_MISMATCH"
 
 
 class FrameError(ReproError):
     """An invalid window frame specification was supplied."""
 
+    code = "INVALID_FRAME"
+
 
 class WindowFunctionError(ReproError):
     """A window function was invoked with invalid arguments or clauses."""
+
+    code = "INVALID_WINDOW_FUNCTION"
 
 
 class SqlError(ReproError):
     """Base class for errors from the SQL front end."""
 
+    code = "SQL"
+
 
 class SqlSyntaxError(SqlError):
     """The SQL text could not be tokenized or parsed."""
+
+    code = "SQL_SYNTAX"
 
     def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
@@ -73,9 +96,13 @@ class SqlAnalysisError(SqlError):
     reject unsupported combinations only during semantic analysis.
     """
 
+    code = "SQL_ANALYSIS"
+
 
 class ExecutionError(ReproError):
     """A runtime failure while executing a query plan."""
+
+    code = "EXECUTION"
 
 
 class ParallelExecutionError(ExecutionError):
@@ -92,6 +119,8 @@ class ParallelExecutionError(ExecutionError):
     itself a multi-failure ``ParallelExecutionError`` is expanded into
     its per-slice leaf errors rather than kept as a wrapper around a
     list — one exception, one flat list of worker failures."""
+
+    code = "PARALLEL_EXECUTION"
 
     def __init__(self, lo: int, hi: int, cause: BaseException,
                  failures: "Optional[List[ParallelExecutionError]]" = None
@@ -146,17 +175,25 @@ class ResilienceError(ExecutionError):
     completes (possibly via a fallback evaluator) or raises one of
     these — it never hangs and never crashes with an opaque error."""
 
+    code = "RESILIENCE"
+
 
 class QueryTimeoutError(ResilienceError):
     """The query's deadline expired before evaluation finished."""
+
+    code = "QUERY_TIMEOUT"
 
 
 class QueryCancelledError(ResilienceError):
     """The query's cancellation token was set while it was running."""
 
+    code = "QUERY_CANCELLED"
+
 
 class ResourceLimitError(ResilienceError):
     """A per-query resource limit (rows, structure bytes) was exceeded."""
+
+    code = "RESOURCE_LIMIT"
 
 
 class QueryRejectedError(ResilienceError):
@@ -166,9 +203,43 @@ class QueryRejectedError(ResilienceError):
     bounded queue wait elapsed before a concurrency slot freed up. The
     query never started executing, so retrying later is always safe."""
 
+    code = "QUERY_REJECTED"
+
     def __init__(self, message: str, priority: str = "interactive") -> None:
         super().__init__(message)
         self.priority = priority
+
+
+class TenantRateLimitError(QueryRejectedError):
+    """The tenant's token-bucket rate limit rejected this request.
+
+    Raised by the serving tier *before* gateway admission: the query
+    never queued and never ran, so retrying after ``retry_after``
+    seconds is always safe."""
+
+    code = "TENANT_RATE_LIMITED"
+
+    def __init__(self, message: str, tenant: str = "",
+                 retry_after: float = 1.0,
+                 priority: str = "interactive") -> None:
+        super().__init__(message, priority=priority)
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class TenantQuotaError(QueryRejectedError):
+    """The tenant's concurrent-query quota is exhausted.
+
+    Like :class:`TenantRateLimitError`, raised before admission; the
+    quota frees as soon as one of the tenant's in-flight queries
+    finishes."""
+
+    code = "TENANT_QUOTA_EXCEEDED"
+
+    def __init__(self, message: str, tenant: str = "",
+                 priority: str = "interactive") -> None:
+        super().__init__(message, priority=priority)
+        self.tenant = tenant
 
 
 class CircuitOpenError(ResilienceError):
@@ -180,6 +251,8 @@ class CircuitOpenError(ResilienceError):
     for: structure builds degrade to the baseline evaluator, spill
     writes degrade evictions to drops, spill reads rebuild from source.
     """
+
+    code = "CIRCUIT_OPEN"
 
     def __init__(self, resource: str, retry_after: float = 0.0) -> None:
         super().__init__(
@@ -198,6 +271,8 @@ class VerificationError(ResilienceError):
     oracle. Signals silent corruption — never retried, always surfaced.
     """
 
+    code = "VERIFICATION_FAILED"
+
 
 class StructureBuildError(ResilienceError):
     """An index-structure build failed; carries the structure kind.
@@ -205,6 +280,8 @@ class StructureBuildError(ResilienceError):
     The window operator treats this (and :class:`ResourceLimitError`
     raised during a build) as a signal to degrade gracefully to the
     matching baseline evaluator instead of failing the query."""
+
+    code = "STRUCTURE_BUILD_FAILED"
 
     def __init__(self, kind: str, cause: BaseException) -> None:
         super().__init__(
@@ -219,3 +296,5 @@ class SpillCorruptionError(ResilienceError):
     The structure cache recovers by discarding the spill file and
     rebuilding the structure from source data; this error only escapes
     when recovery itself is impossible."""
+
+    code = "SPILL_CORRUPTED"

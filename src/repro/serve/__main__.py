@@ -1,0 +1,80 @@
+"""``python -m repro.serve`` — stand up the query service.
+
+Engine configuration comes from ``REPRO_*`` environment variables via
+:meth:`~repro.sql.config.SessionConfig.from_env` (budget, gateway
+sizing, workers, tracing...); serving knobs are flags. Without
+``--tenants`` every tenant runs under the default policy; the JSON
+file maps tenant ids to policies::
+
+    {"dashboard": {"priority": "interactive", "rate": 50, "burst": 100},
+     "etl":       {"priority": "batch", "rate": 5, "max_concurrent": 2}}
+
+The demo catalog is the TPC-H ``lineitem`` generator (the same table
+the benchmarks use), sized by ``--rows``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Dict
+
+from repro.serve.server import QueryServer
+from repro.serve.service import QueryService
+from repro.serve.tenants import TenantPolicy, TenantRegistry
+from repro.sql import Catalog, Session, SessionConfig
+
+
+def _load_tenants(path: str) -> Dict[str, TenantPolicy]:
+    with open(path) as handle:
+        raw = json.load(handle)
+    return {name: TenantPolicy(**spec) for name, spec in raw.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve the window-aggregate engine over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listening port (0 = ephemeral)")
+    parser.add_argument("--rows", type=int, default=20_000,
+                        help="rows in the demo lineitem table")
+    parser.add_argument("--tenants", metavar="FILE",
+                        help="JSON file of tenant policies")
+    args = parser.parse_args(argv)
+
+    from repro.tpch import lineitem
+    catalog = Catalog({"lineitem": lineitem(args.rows)})
+    config = SessionConfig.from_env()
+    session = Session(catalog, config=config)
+    tenants = TenantRegistry(
+        policies=_load_tenants(args.tenants) if args.tenants else None,
+        clock=session.clock)
+    service = QueryService(session, tenants=tenants, own_session=True)
+    server = QueryServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro.serve listening on "
+              f"http://{args.host}:{server.port} "
+              f"(lineitem rows={args.rows}, "
+              f"gateway slots={config.max_concurrent})", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

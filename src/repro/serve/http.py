@@ -1,0 +1,143 @@
+"""A minimal HTTP/1.1 layer over asyncio streams — stdlib only.
+
+The serving tier deliberately avoids web frameworks (no new runtime
+dependencies); the subset of HTTP it speaks is small and explicit:
+
+* request line + headers + ``Content-Length`` bodies (no chunked
+  upload, no multipart) with hard caps on header and body size;
+* keep-alive by default for HTTP/1.1, ``Connection: close`` honoured;
+* responses always carry ``Content-Length`` and a JSON body.
+
+Parsing errors raise :class:`ProtocolError` with the status the
+connection handler should answer before closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["Request", "ProtocolError", "read_request", "render_response",
+           "STATUS_REASONS"]
+
+#: Hard caps: a serving tier must bound untrusted input before parsing.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 499: "Client Closed Request",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """The peer sent something this server refuses to parse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: Optional[str] = None
+               ) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = (self.header("connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[Request]:
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise ProtocolError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "request line too long") from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3:
+        raise ProtocolError(400, "malformed request line")
+    method, path, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(400, f"unsupported version {version!r}")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            raise ProtocolError(400, "truncated headers") from None
+        if line in (b"\r\n", b"\n"):
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise ProtocolError(400, "headers too large")
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(400, "chunked request bodies not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ProtocolError(400, "bad Content-Length") from None
+        if length < 0:
+            raise ProtocolError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "truncated request body") from None
+    return Request(method=method, path=path, version=version,
+                   headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes,
+                    headers: Optional[Dict[str, str]] = None,
+                    keep_alive: bool = True,
+                    content_type: str = "application/json") -> bytes:
+    """Serialize one complete HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

@@ -1,0 +1,255 @@
+"""Per-tenant quotas and token-bucket rate limits over the gateway.
+
+The admission gateway (PR 3) protects the *engine*: it bounds total
+concurrency and sheds by priority class. Multi-tenant serving needs a
+fairness layer above it so one chatty tenant cannot consume the whole
+queue before anyone else arrives. Each tenant gets a
+:class:`TenantPolicy`:
+
+* ``rate`` / ``burst`` — a token bucket refilled continuously at
+  ``rate`` requests/second up to ``burst``; an empty bucket rejects
+  with :class:`~repro.errors.TenantRateLimitError` (HTTP 429 with
+  ``Retry-After``) before the request ever touches the gateway;
+* ``max_concurrent`` — an in-flight quota per tenant, rejecting with
+  :class:`~repro.errors.TenantQuotaError` when exhausted;
+* ``priority`` — the gateway class the tenant's queries are admitted
+  under. A request may *downgrade* itself (an interactive tenant
+  submitting a bulk export as ``batch``) but never upgrade past its
+  policy — the tenant→priority mapping is a cap, not a default.
+
+Buckets run on the session's pluggable clock so tests refill them
+deterministically with :class:`~repro.resilience.context.
+SimulatedClock`. All state mutates under one lock; the hot path is a
+handful of float operations per request.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+from repro.errors import (
+    ConfigurationError,
+    TenantQuotaError,
+    TenantRateLimitError,
+)
+from repro.resilience.context import SystemClock
+
+__all__ = ["TenantPolicy", "TenantStats", "TenantRegistry",
+           "DEFAULT_POLICY"]
+
+#: Gateway classes, highest first (mirrors repro.resilience.gateway).
+_PRIORITIES = ("interactive", "batch")
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's serving limits (see module docstring).
+
+    ``rate=None`` disables rate limiting; ``rate=0`` blocks the tenant
+    outright (useful for suspensions). ``max_concurrent=None`` leaves
+    concurrency bounded only by the gateway."""
+
+    priority: str = "interactive"
+    rate: Optional[float] = None
+    burst: int = 10
+    max_concurrent: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.priority not in _PRIORITIES:
+            raise ConfigurationError(
+                f"unknown priority {self.priority!r}; expected one of "
+                f"{_PRIORITIES}")
+        if self.rate is not None and self.rate < 0:
+            raise ConfigurationError(
+                f"rate must be >= 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigurationError(
+                f"burst must be >= 1, got {self.burst}")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}")
+
+    def cap_priority(self, requested: Optional[str]) -> str:
+        """The effective gateway class for a request.
+
+        ``requested=None`` inherits the policy class; an explicit
+        request may only move *down* the priority order."""
+        if requested is None:
+            return self.priority
+        if requested not in _PRIORITIES:
+            raise ConfigurationError(
+                f"unknown priority {requested!r}; expected one of "
+                f"{_PRIORITIES}")
+        # Later in _PRIORITIES = lower priority; take the lower.
+        own = _PRIORITIES.index(self.priority)
+        asked = _PRIORITIES.index(requested)
+        return _PRIORITIES[max(own, asked)]
+
+
+#: Anonymous / unknown tenants: interactive, bursty but bounded.
+DEFAULT_POLICY = TenantPolicy(priority="interactive", rate=None,
+                              burst=10, max_concurrent=None)
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving counters (rendered in /v1/healthz)."""
+
+    tenant: str = ""
+    admitted: int = 0
+    rate_limited: int = 0
+    quota_rejected: int = 0
+    in_flight: int = 0
+    peak_in_flight: int = 0
+    tokens: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"tenant": self.tenant, "admitted": self.admitted,
+                "rate_limited": self.rate_limited,
+                "quota_rejected": self.quota_rejected,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "tokens": round(self.tokens, 6)}
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    tokens: float
+    last_refill: float
+    in_flight: int = 0
+    stats: TenantStats = field(default_factory=TenantStats)
+
+
+class TenantRegistry:
+    """Thread-safe tenant policy map + live limiter state.
+
+    Unknown tenants are admitted under ``default_policy`` (each gets
+    its own bucket and counters keyed by name, so an unknown tenant is
+    still isolated from every other unknown tenant).
+    """
+
+    def __init__(self,
+                 policies: Optional[Dict[str, TenantPolicy]] = None,
+                 default_policy: TenantPolicy = DEFAULT_POLICY,
+                 clock=None) -> None:
+        self._lock = threading.Lock()
+        self._policies = dict(policies or {})
+        self._default = default_policy
+        self._clock = clock if clock is not None else SystemClock()
+        self._states: Dict[str, _TenantState] = {}
+
+    # ------------------------------------------------------------------
+    # policy management
+    # ------------------------------------------------------------------
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        with self._lock:
+            self._policies[tenant] = policy
+            self._states.pop(tenant, None)  # rebuild with new limits
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        with self._lock:
+            return self._policies.get(tenant, self._default)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    @contextmanager
+    def admit(self, tenant: str,
+              requested_priority: Optional[str] = None) -> Iterator[str]:
+        """Hold the tenant's rate/quota slot for the request duration.
+
+        Yields the effective gateway priority class. Raises
+        :class:`~repro.errors.TenantRateLimitError` /
+        :class:`~repro.errors.TenantQuotaError` without consuming
+        anything on rejection."""
+        priority = self.acquire(tenant, requested_priority)
+        try:
+            yield priority
+        finally:
+            self.release(tenant)
+
+    def acquire(self, tenant: str,
+                requested_priority: Optional[str] = None) -> str:
+        with self._lock:
+            state = self._state(tenant)
+            policy = state.policy
+            priority = policy.cap_priority(requested_priority)
+            self._refill(state)
+            if policy.rate == 0:
+                # Suspended tenant: no burst allowance, block outright.
+                state.stats.rate_limited += 1
+                raise TenantRateLimitError(
+                    f"tenant {tenant!r} is rate-limited to 0 requests/s",
+                    tenant=tenant, retry_after=60.0, priority=priority)
+            if policy.rate is not None and state.tokens < 1.0:
+                state.stats.rate_limited += 1
+                retry = ((1.0 - state.tokens) / policy.rate
+                         if policy.rate > 0 else 60.0)
+                raise TenantRateLimitError(
+                    f"tenant {tenant!r} exceeded {policy.rate:g} "
+                    f"requests/s (burst {policy.burst})", tenant=tenant,
+                    retry_after=retry, priority=priority)
+            if (policy.max_concurrent is not None
+                    and state.in_flight >= policy.max_concurrent):
+                state.stats.quota_rejected += 1
+                raise TenantQuotaError(
+                    f"tenant {tenant!r} already has "
+                    f"{state.in_flight} queries in flight "
+                    f"(quota {policy.max_concurrent})", tenant=tenant,
+                    priority=priority)
+            if policy.rate is not None:
+                state.tokens -= 1.0
+            state.in_flight += 1
+            state.stats.admitted += 1
+            state.stats.in_flight = state.in_flight
+            state.stats.peak_in_flight = max(state.stats.peak_in_flight,
+                                             state.in_flight)
+            return priority
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            state = self._states.get(tenant)
+            if state is not None and state.in_flight > 0:
+                state.in_flight -= 1
+                state.stats.in_flight = state.in_flight
+
+    # ------------------------------------------------------------------
+    # internals (lock held)
+    # ------------------------------------------------------------------
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            policy = self._policies.get(tenant, self._default)
+            state = _TenantState(policy=policy, tokens=float(policy.burst),
+                                 last_refill=self._clock.monotonic())
+            state.stats.tenant = tenant
+            self._states[tenant] = state
+        return state
+
+    def _refill(self, state: _TenantState) -> None:
+        now = self._clock.monotonic()
+        elapsed = max(now - state.last_refill, 0.0)
+        state.last_refill = now
+        if state.policy.rate:
+            state.tokens = min(state.tokens + elapsed * state.policy.rate,
+                               float(state.policy.burst))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> List[TenantStats]:
+        """Per-tenant counters for every tenant seen, sorted by name."""
+        with self._lock:
+            out = []
+            for name in sorted(self._states):
+                state = self._states[name]
+                self._refill(state)
+                snap = TenantStats(**vars(state.stats))
+                snap.tokens = state.tokens
+                out.append(snap)
+            return out

@@ -82,6 +82,8 @@ class SessionConfig:
 
     * cache: ``budget_bytes``, ``spill_dir``, ``spill``,
       ``verify_reload``;
+    * plan cache: ``plan_cache_bytes`` (LRU budget for parsed
+      statements; ``0`` disables, ``None`` is unlimited);
     * guardrail defaults: ``timeout``, ``limits``;
     * gateway: ``max_concurrent``, ``max_queue``, ``queue_timeout``;
     * breakers: ``breaker_threshold``, ``breaker_reset``;
@@ -94,6 +96,7 @@ class SessionConfig:
     """
 
     budget_bytes: Optional[int] = None
+    plan_cache_bytes: Optional[int] = 8 << 20
     spill_dir: Optional[str] = None
     spill: bool = True
     timeout: Optional[float] = None
@@ -116,6 +119,10 @@ class SessionConfig:
     def __post_init__(self) -> None:
         _require(self.budget_bytes is None or self.budget_bytes >= 0,
                  f"budget_bytes must be >= 0, got {self.budget_bytes}")
+        _require(self.plan_cache_bytes is None
+                 or self.plan_cache_bytes >= 0,
+                 f"plan_cache_bytes must be >= 0, "
+                 f"got {self.plan_cache_bytes}")
         _require(self.spill or self.spill_dir is None,
                  "spill_dir was given but spill=False; either enable "
                  "spilling or drop the directory")
@@ -147,7 +154,8 @@ class SessionConfig:
                  **overrides: Any) -> "SessionConfig":
         """Build a config from ``REPRO_*`` environment variables.
 
-        Recognised: ``REPRO_BUDGET_BYTES``, ``REPRO_SPILL_DIR``,
+        Recognised: ``REPRO_BUDGET_BYTES``, ``REPRO_PLAN_CACHE_BYTES``,
+        ``REPRO_SPILL_DIR``,
         ``REPRO_SPILL``, ``REPRO_TIMEOUT``, ``REPRO_MAX_CONCURRENT``,
         ``REPRO_MAX_QUEUE``, ``REPRO_QUEUE_TIMEOUT``,
         ``REPRO_BREAKER_THRESHOLD``, ``REPRO_BREAKER_RESET``,
@@ -163,6 +171,7 @@ class SessionConfig:
                 values[key] = value
 
         put("budget_bytes", _env_int(env, "REPRO_BUDGET_BYTES"))
+        put("plan_cache_bytes", _env_int(env, "REPRO_PLAN_CACHE_BYTES"))
         put("spill_dir", env.get("REPRO_SPILL_DIR") or None)
         put("spill", _env_bool(env, "REPRO_SPILL"))
         put("timeout", _env_float(env, "REPRO_TIMEOUT"))

@@ -366,6 +366,12 @@ class Session:
             clock=config.clock)
         self.verify_rate = config.verify_rate
         self.verify_seed = config.verify_seed
+        #: Prepared-statement cache: normalized-SQL fingerprint →
+        #: parsed AST, shared by execute/explain whenever SQL text (not
+        #: a pre-parsed AST) is submitted. ``plan_cache_bytes=0``
+        #: disables it.
+        from repro.sql.plancache import PlanCache
+        self.plan_cache = PlanCache(budget_bytes=config.plan_cache_bytes)
         #: One scheduler (and thread pool) per session: every admitted
         #: query shares it, so total worker threads stay bounded at
         #: ``workers`` no matter how large ``max_concurrent`` is.
@@ -445,7 +451,7 @@ class Session:
         table: Optional[Table] = None
         stmt: Optional[ast.SelectStmt] = None
         try:
-            stmt = _parse_traced(sql_or_ast, context)
+            stmt = self._parse(sql_or_ast, context)
             with self.gateway.admit(context, priority=options.priority):
                 table = execute(stmt, self.catalog, cache=self.cache,
                                 context=context, parallel=self.parallel)
@@ -476,6 +482,23 @@ class Session:
         result._explainer = lambda: self._explain_text(stmt,
                                                        analysis=result)
         return result
+
+    def _parse(self, sql_or_ast: Union[str, ast.SelectStmt],
+               exec_ctx: ExecutionContext) -> ast.SelectStmt:
+        """Parse through the plan cache (pre-parsed ASTs pass through).
+
+        A hit skips parsing entirely and shares the cached immutable
+        AST; the ``parse`` span records which happened. Parse errors
+        propagate and cache nothing."""
+        if not isinstance(sql_or_ast, str):
+            return sql_or_ast
+        tracer = exec_ctx.tracer
+        if tracer.enabled:
+            with tracer.span("parse", chars=len(sql_or_ast)) as span:
+                stmt, hit = self.plan_cache.get_or_parse(sql_or_ast, parse)
+                span.annotate(plan_cache="hit" if hit else "miss")
+            return stmt
+        return self.plan_cache.get_or_parse(sql_or_ast, parse)[0]
 
     def _observe_query(self, outcome: str, elapsed: float,
                        context: ExecutionContext) -> None:
@@ -515,7 +538,8 @@ class Session:
         try:
             with self.gateway.admit(context, priority=priority):
                 with activate(context):
-                    return self._explain_text(sql_or_ast)
+                    return self._explain_text(
+                        self._parse(sql_or_ast, context))
         finally:
             with self._health_lock:
                 self.health.merge(context.health)
@@ -525,7 +549,8 @@ class Session:
         from repro.sql.explain import explain as _explain
         return _explain(sql_or_ast, cache=self.cache, health=self.health,
                         gateway=self.gateway, breakers=self.breakers,
-                        parallel=self.parallel, analysis=analysis)
+                        parallel=self.parallel, analysis=analysis,
+                        plan_cache=self.plan_cache)
 
     # ------------------------------------------------------------------
     # metrics
@@ -557,6 +582,18 @@ class Session:
                                 ["state"])
         hit_ratio = m.gauge("repro_cache_hit_ratio",
                             "Lifetime structure-cache hit ratio.")
+        plan_hits = m.counter("repro_plan_cache_hits_total",
+                              "Plan cache hits (parse skipped).")
+        plan_misses = m.counter("repro_plan_cache_misses_total",
+                                "Plan cache misses (statement parsed).")
+        plan_evictions = m.counter("repro_plan_cache_evictions_total",
+                                   "Plans evicted by the byte budget.")
+        plan_entries = m.gauge("repro_plan_cache_entries",
+                               "Cached parsed statements.")
+        plan_bytes = m.gauge("repro_plan_cache_bytes_in_use",
+                             "Bytes held by cached plans.")
+        plan_ratio = m.gauge("repro_plan_cache_hit_ratio",
+                             "Lifetime plan-cache hit ratio.")
         g_active = m.gauge("repro_gateway_active",
                            "Queries currently executing.")
         g_queued = m.gauge("repro_gateway_queued",
@@ -595,6 +632,13 @@ class Session:
             cache_entries.set(cs.spilled_entries, state="spilled")
             lookups = cs.hits + cs.misses
             hit_ratio.set(cs.hits / lookups if lookups else 0.0)
+            ps_plan = self.plan_cache.stats()
+            plan_hits.set_total(ps_plan.hits)
+            plan_misses.set_total(ps_plan.misses)
+            plan_evictions.set_total(ps_plan.evictions)
+            plan_entries.set(ps_plan.entries)
+            plan_bytes.set(ps_plan.bytes_in_use)
+            plan_ratio.set(ps_plan.hit_ratio)
             gs = self.gateway.stats()
             g_active.set(gs.active)
             for cls in PRIORITIES:

@@ -19,7 +19,8 @@ from repro.sql.parser import parse
 def explain(sql_or_ast: Union[str, ast.SelectStmt],
             cache: Any = None, health: Any = None,
             gateway: Any = None, breakers: Any = None,
-            parallel: Any = None, analysis: Any = None) -> str:
+            parallel: Any = None, analysis: Any = None,
+            plan_cache: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
@@ -61,6 +62,13 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
     _render_select(stmt, lines, 0)
     if analysis is not None:
         _annotate_plan(lines, analysis)
+    if plan_cache is not None:
+        stats = plan_cache.stats()
+        # Quiet until it has seen traffic, like the Gateway section.
+        if stats.hits or stats.misses:
+            lines.append("PlanCache")
+            for line in stats.render():
+                lines.append("  " + line)
     if cache is not None:
         lines.append("StructureCache")
         for line in cache.stats().render():

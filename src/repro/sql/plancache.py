@@ -1,0 +1,226 @@
+"""A prepared-statement/plan cache: parse once, execute many.
+
+The serving tier (and any long-lived :class:`~repro.sql.executor.
+Session`) sees the same statements over and over — dashboards refresh,
+clients page, load generators loop. Parsing is pure CPU on the hot
+path, and the parsed :class:`~repro.sql.ast.SelectStmt` is an immutable
+(frozen, hashable) tree that every query can share safely; the executor
+never mutates a statement, it derives rewritten copies. So the session
+keeps a :class:`PlanCache`: normalized-SQL fingerprint → parsed AST.
+
+Design mirrors the structure cache (:mod:`repro.cache.store`) one
+level up:
+
+* **normalized keys** — the SQL text is collapsed to single spaces and
+  stripped of a trailing semicolon before hashing, so reformatting a
+  statement doesn't defeat the cache. Nothing else is normalized:
+  case-folding would conflate string literals (``'A'`` vs ``'a'``),
+  so differently-cased duplicates simply miss. Two texts with equal
+  keys therefore always parse to the same AST;
+* **byte-budgeted LRU** — entries are charged a measured recursive
+  size of their AST against ``budget_bytes`` and the least-recently-
+  used entries are evicted beyond it (plans are pure parse products,
+  so eviction is always a plain drop — nothing to spill);
+* **observable** — hit/miss/eviction counters surface in ``EXPLAIN``
+  (PlanCache section) and the session ``MetricsRegistry``
+  (``repro_plan_cache_*``).
+
+Thread safety: one lock around the map. Unlike structure builds,
+parses are cheap enough that two threads racing to parse the same new
+statement just both parse; last insert wins and the sizes are equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PlanCache", "PlanCacheStats", "normalize_sql", "plan_bytes"]
+
+#: Default plan-cache budget: generous for ASTs (a parsed analytics
+#: statement measures a few tens of KiB), tiny next to data structures.
+DEFAULT_PLAN_CACHE_BYTES = 8 << 20
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-insensitive canonical text for fingerprinting.
+
+    Collapses all whitespace runs to single spaces and drops one
+    trailing semicolon. Deliberately *not* case-insensitive — see the
+    module docstring."""
+    text = " ".join(sql.split())
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    return text
+
+
+def fingerprint_sql(sql: str) -> str:
+    """Stable hex fingerprint of the normalized statement text."""
+    return hashlib.sha256(normalize_sql(sql).encode("utf-8")).hexdigest()
+
+
+def plan_bytes(plan: Any) -> int:
+    """Measured recursive size of a parsed AST in bytes.
+
+    Walks the object graph once (memoised by id) summing
+    ``sys.getsizeof``; covers dataclass nodes, tuples, dicts and
+    leaves. An approximation — shared interned strings are charged per
+    reference — but consistent, which is all a relative LRU budget
+    needs."""
+    seen = set()
+    total = 0
+    stack = [plan]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen or obj is None:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.extend(vars(obj).values())
+        elif hasattr(obj, "__slots__"):
+            for slot in obj.__slots__:
+                stack.append(getattr(obj, slot, None))
+    return total
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters exposed through ``EXPLAIN`` and the metrics registry."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    bytes_in_use: int = 0
+    budget_bytes: Optional[int] = None
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def render(self) -> List[str]:
+        # No byte figures here: sizes come from sys.getsizeof, which
+        # differs across interpreter versions, and this text feeds the
+        # EXPLAIN golden files. Bytes stay in to_dict() and /metrics.
+        budget = ("unlimited" if self.budget_bytes is None
+                  else f"{self.budget_bytes:,} B")
+        return [
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} hit_ratio={self.hit_ratio:.3f}",
+            f"entries={self.entries} budget={budget}",
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "entries": self.entries,
+            "bytes_in_use": self.bytes_in_use,
+            "budget_bytes": self.budget_bytes,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class PlanCache:
+    """Byte-budgeted LRU of parsed statements (see module docstring).
+
+    ``budget_bytes=None`` means unlimited; ``budget_bytes=0`` disables
+    caching entirely (every lookup misses, nothing is stored) — the
+    switch :class:`~repro.sql.config.SessionConfig` uses to turn the
+    feature off without a second code path in the executor.
+    """
+
+    def __init__(self,
+                 budget_bytes: Optional[int] = DEFAULT_PLAN_CACHE_BYTES
+                 ) -> None:
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._budget = budget_bytes
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._budget is None or self._budget > 0
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get_or_parse(self, sql: str, parse: Callable[[str], Any]) -> Any:
+        """The cached plan for ``sql``, parsing (and caching) on miss.
+
+        Returns ``(plan, hit)`` so callers can trace the outcome.
+        Parsing runs outside the lock; parse errors propagate and cache
+        nothing."""
+        if not self.enabled:
+            with self._lock:
+                self._misses += 1
+            return parse(sql), False
+        key = fingerprint_sql(sql)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry[0], True
+            self._misses += 1
+        plan = parse(sql)
+        nbytes = plan_bytes(plan)
+        with self._lock:
+            if key in self._entries:
+                # Raced with another parser of the same statement: keep
+                # the incumbent (it is already shared), refresh recency.
+                self._entries.move_to_end(key)
+                return self._entries[key][0], True
+            if self._budget is not None and nbytes > self._budget:
+                return plan, False  # would evict everything; don't store
+            self._entries[key] = (plan, nbytes)
+            self._bytes += nbytes
+            self._evict_over_budget()
+        return plan, False
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU entries until within budget (lock held)."""
+        if self._budget is None:
+            return
+        while self._bytes > self._budget and self._entries:
+            _, (_, nbytes) = self._entries.popitem(last=False)
+            self._bytes -= nbytes
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # management / introspection
+    # ------------------------------------------------------------------
+    def invalidate(self, sql: Optional[str] = None) -> None:
+        """Forget one statement, or everything when ``sql`` is None."""
+        with self._lock:
+            if sql is None:
+                self._entries.clear()
+                self._bytes = 0
+                return
+            entry = self._entries.pop(fingerprint_sql(sql), None)
+            if entry is not None:
+                self._bytes -= entry[1]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, entries=len(self._entries),
+                bytes_in_use=self._bytes, budget_bytes=self._budget)

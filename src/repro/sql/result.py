@@ -163,3 +163,32 @@ class QueryResult:
     def trace_dict(self) -> Optional[Dict[str, Any]]:
         """The span tree as a JSON-able dict (None when untraced)."""
         return None if self.trace is None else self.trace.to_dict()
+
+    # ------------------------------------------------------------------
+    # wire serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, include_trace: bool = True) -> Dict[str, Any]:
+        """The full result as one JSON-safe dict.
+
+        This is the serving tier's wire format: column names and types,
+        rows as value lists, the per-query stats, and (when the query
+        ran under tracing and ``include_trace`` is true) the span tree.
+        Everything passes through :func:`repro.wire.to_jsonable`, so
+        ``json.dumps(result.to_dict())`` always succeeds — numpy
+        scalars are unwrapped, DATE values render ISO-8601, NaN/inf
+        become null. Guaranteed round-trippable:
+        ``json.loads(json.dumps(result.to_dict()))`` reproduces the
+        same dict.
+        """
+        from repro.wire import to_jsonable
+        table = self.table
+        payload: Dict[str, Any] = {
+            "columns": [f.name for f in table.schema],
+            "types": [f.dtype.value for f in table.schema],
+            "rows": to_jsonable(table.to_rows()),
+            "row_count": table.num_rows,
+            "stats": to_jsonable(self.stats.to_dict()),
+        }
+        if include_trace:
+            payload["trace"] = to_jsonable(self.trace_dict())
+        return payload

@@ -1,0 +1,186 @@
+"""Plan cache: fingerprinting, LRU accounting, Session integration."""
+
+import json
+
+import pytest
+
+from repro.sql import Catalog, Session, SessionConfig
+from repro.sql.parser import parse
+from repro.sql.plancache import (
+    DEFAULT_PLAN_CACHE_BYTES,
+    PlanCache,
+    fingerprint_sql,
+    normalize_sql,
+    plan_bytes,
+)
+from repro.table import DataType, Table
+
+SQL = ("SELECT g, sum(v) OVER (PARTITION BY g ORDER BY v "
+       "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS s FROM t")
+
+
+def _catalog():
+    table = Table.from_dict({
+        "g": (DataType.INT64, [1, 1, 2, 2, 2]),
+        "v": (DataType.INT64, [5, 3, 8, 1, 4]),
+    })
+    return Catalog({"t": table})
+
+
+class TestNormalization:
+    def test_whitespace_collapses(self):
+        assert (normalize_sql("SELECT  a\n FROM   t;")
+                == normalize_sql("SELECT a FROM t"))
+
+    def test_fingerprints_match_for_equivalent_text(self):
+        a = fingerprint_sql("SELECT a FROM t")
+        b = fingerprint_sql("  SELECT a\tFROM t ;")
+        assert a == b
+
+    def test_case_is_significant(self):
+        # Case folding would conflate string literals; keys stay
+        # case-sensitive and we accept the conservative misses.
+        assert (fingerprint_sql("SELECT 'x' FROM t")
+                != fingerprint_sql("SELECT 'X' FROM t"))
+
+    def test_different_statements_differ(self):
+        assert (fingerprint_sql("SELECT a FROM t")
+                != fingerprint_sql("SELECT b FROM t"))
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        first, hit1 = cache.get_or_parse(SQL, parse)
+        second, hit2 = cache.get_or_parse("  " + SQL + " ;", parse)
+        assert (hit1, hit2) == (False, True)
+        assert second is first
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_ratio == 0.5
+        assert stats.bytes_in_use > 0
+
+    def test_parse_called_once_per_fingerprint(self):
+        calls = []
+
+        def counting_parse(sql):
+            calls.append(sql)
+            return parse(sql)
+
+        cache = PlanCache()
+        for _ in range(5):
+            cache.get_or_parse(SQL, counting_parse)
+        assert len(calls) == 1
+
+    def test_lru_eviction_under_byte_budget(self):
+        statements = [f"SELECT g, v + {i} AS x FROM t" for i in range(4)]
+        probe = plan_bytes(parse(statements[0]))
+        cache = PlanCache(budget_bytes=int(probe * 2.5))
+        for sql in statements:
+            cache.get_or_parse(sql, parse)
+        stats = cache.stats()
+        assert stats.evictions > 0
+        assert stats.bytes_in_use <= stats.budget_bytes
+        assert len(cache) == stats.entries < len(statements)
+        # Least-recently-used entries left first: the newest survives.
+        _, hit = cache.get_or_parse(statements[-1], parse)
+        assert hit
+
+    def test_hit_refreshes_recency(self):
+        probe = plan_bytes(parse("SELECT g FROM t"))
+        cache = PlanCache(budget_bytes=int(probe * 2.5))
+        cache.get_or_parse("SELECT g FROM t", parse)
+        cache.get_or_parse("SELECT v FROM t", parse)
+        cache.get_or_parse("SELECT g FROM t", parse)  # refresh
+        cache.get_or_parse("SELECT g, v FROM t", parse)  # evicts v
+        _, hit = cache.get_or_parse("SELECT g FROM t", parse)
+        assert hit
+
+    def test_oversize_plan_is_not_stored(self):
+        cache = PlanCache(budget_bytes=16)
+        _, hit1 = cache.get_or_parse(SQL, parse)
+        _, hit2 = cache.get_or_parse(SQL, parse)
+        assert (hit1, hit2) == (False, False)
+        assert len(cache) == 0
+
+    def test_budget_zero_disables(self):
+        cache = PlanCache(budget_bytes=0)
+        assert not cache.enabled
+        _, hit = cache.get_or_parse(SQL, parse)
+        _, hit2 = cache.get_or_parse(SQL, parse)
+        assert not hit and not hit2
+        assert len(cache) == 0
+
+    def test_invalidate_clears_entries_keeps_counters(self):
+        cache = PlanCache()
+        cache.get_or_parse(SQL, parse)
+        cache.get_or_parse(SQL, parse)
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats.entries == 0 and stats.bytes_in_use == 0
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_stats_render_and_to_dict(self):
+        cache = PlanCache()
+        cache.get_or_parse(SQL, parse)
+        stats = cache.stats()
+        assert any("hits" in line for line in stats.render())
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["misses"] == 1
+        assert payload["budget_bytes"] == DEFAULT_PLAN_CACHE_BYTES
+
+
+class TestSessionIntegration:
+    def test_repeated_execute_hits_the_cache(self):
+        with Session(_catalog()) as session:
+            first = session.execute(SQL)
+            second = session.execute(SQL + "  ")
+            assert first == second
+            stats = session.plan_cache.stats()
+            assert stats.hits >= 1 and stats.misses >= 1
+
+    def test_metrics_expose_plan_cache_counters(self):
+        with Session(_catalog()) as session:
+            session.execute(SQL)
+            session.execute(SQL)
+            text = session.metrics_text()
+            assert "repro_plan_cache_hits_total 1" in text
+            assert "repro_plan_cache_misses_total 1" in text
+            assert "repro_plan_cache_entries 1" in text
+
+    def test_explain_renders_plan_cache_section(self):
+        with Session(_catalog()) as session:
+            session.execute(SQL)
+            plan = session.explain(SQL)
+            assert "PlanCache" in plan
+
+    def test_plan_cache_bytes_zero_disables_in_session(self):
+        config = SessionConfig(plan_cache_bytes=0)
+        with Session(_catalog(), config=config) as session:
+            session.execute(SQL)
+            session.execute(SQL)
+            stats = session.plan_cache.stats()
+            assert stats.hits == 0
+
+    def test_traced_query_annotates_cache_outcome(self):
+        with Session(_catalog()) as session:
+            session.execute(SQL)
+            result = session.execute(SQL, trace=True)
+
+            def find(node, name):
+                if node["name"] == name:
+                    return node
+                for child in node.get("children", ()):
+                    got = find(child, name)
+                    if got is not None:
+                        return got
+                return None
+
+            span = find(result.trace_dict(), "parse")
+            assert span is not None
+            assert span["attrs"]["plan_cache"] == "hit"
+
+    def test_config_rejects_negative_budget(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            SessionConfig(plan_cache_bytes=-1)

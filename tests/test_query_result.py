@@ -128,3 +128,77 @@ class TestModuleExecuteCompatibility:
     def test_module_execute_still_returns_a_table(self):
         out = execute(SQL, _catalog())
         assert isinstance(out, Table)
+
+
+class TestWireSerialization:
+    """QueryResult.to_dict() must survive a strict JSON round-trip."""
+
+    def _wire_catalog(self):
+        import datetime
+        table = Table.from_dict({
+            "g": (DataType.INT64, [1, 1, 2]),
+            "f": (DataType.FLOAT64, [1.5, float("nan"), 2.25]),
+            "s": (DataType.STRING, ["a", None, "c"]),
+            "d": (DataType.DATE, [datetime.date(2024, 6, 1), None,
+                                  datetime.date(2024, 6, 3)]),
+            "b": (DataType.BOOL, [True, False, None]),
+        })
+        return Catalog({"w": table})
+
+    def test_round_trip_is_lossless(self):
+        import json
+        with Session(self._wire_catalog()) as session:
+            result = session.execute("SELECT g, f, s, d, b FROM w")
+        payload = result.to_dict()
+        # allow_nan=False: the encoder itself proves nothing non-JSON
+        # (numpy scalars, dates, NaN) leaked through.
+        text = json.dumps(payload, allow_nan=False)
+        assert json.loads(text) == payload
+
+    def test_value_conversion(self):
+        with Session(self._wire_catalog()) as session:
+            result = session.execute("SELECT g, f, s, d, b FROM w")
+        payload = result.to_dict()
+        assert payload["columns"] == ["g", "f", "s", "d", "b"]
+        assert payload["types"] == ["int64", "float64", "string",
+                                    "date", "bool"]
+        rows = payload["rows"]
+        assert rows[0] == [1, 1.5, "a", "2024-06-01", True]
+        assert rows[1][1] is None  # NaN → null, not 'NaN'
+        assert rows[1][2] is None and rows[1][3] is None
+        assert all(type(r[0]) is int for r in rows)  # not np.int64
+
+    def test_aggregate_outputs_are_plain_types(self):
+        import json
+        with Session(self._wire_catalog()) as session:
+            result = session.execute(
+                "SELECT g, sum(f) OVER (PARTITION BY g) AS t, "
+                "count(s) OVER () AS c FROM w")
+        text = json.dumps(result.to_dict(), allow_nan=False)
+        assert json.loads(text)["row_count"] == 3
+
+    def test_trace_included_and_excludable(self):
+        import json
+        with Session(self._wire_catalog()) as session:
+            result = session.execute("SELECT g FROM w", trace=True)
+        with_trace = result.to_dict()
+        assert with_trace["trace"]["name"] == "query"
+        json.dumps(with_trace, allow_nan=False)
+        assert "trace" not in result.to_dict(include_trace=False)
+
+    def test_untraced_trace_field_is_null(self):
+        with Session(self._wire_catalog()) as session:
+            result = session.execute("SELECT g FROM w")
+        assert result.to_dict()["trace"] is None
+
+    def test_stats_survive_round_trip(self):
+        import json
+        with Session(self._wire_catalog()) as session:
+            result = session.execute(
+                "SELECT g, sum(g) OVER (PARTITION BY g ORDER BY g "
+                "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) AS s "
+                "FROM w")
+        stats = json.loads(json.dumps(result.to_dict(),
+                                      allow_nan=False))["stats"]
+        assert stats["outcome"] == "ok"
+        assert isinstance(stats["strategies"], list)

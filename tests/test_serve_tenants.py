@@ -1,0 +1,145 @@
+"""Tenant policies: token buckets, quotas, priority capping."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    TenantQuotaError,
+    TenantRateLimitError,
+)
+from repro.resilience.context import SimulatedClock
+from repro.serve import DEFAULT_POLICY, TenantPolicy, TenantRegistry
+
+
+def _registry(**policies):
+    clock = SimulatedClock()
+    return TenantRegistry(policies=policies, clock=clock), clock
+
+
+class TestPolicy:
+    def test_defaults(self):
+        assert DEFAULT_POLICY.priority == "interactive"
+        assert DEFAULT_POLICY.rate is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"priority": "urgent"},
+        {"rate": -1.0},
+        {"burst": 0},
+        {"max_concurrent": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(**kwargs)
+
+    def test_cap_priority_is_downgrade_only(self):
+        interactive = TenantPolicy(priority="interactive")
+        batch = TenantPolicy(priority="batch")
+        assert interactive.cap_priority(None) == "interactive"
+        assert interactive.cap_priority("batch") == "batch"
+        assert batch.cap_priority(None) == "batch"
+        # A batch tenant cannot request its way up to interactive.
+        assert batch.cap_priority("interactive") == "batch"
+
+    def test_cap_priority_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy().cap_priority("urgent")
+
+
+class TestRateLimit:
+    def test_burst_then_reject_then_refill(self):
+        registry, clock = _registry(
+            t=TenantPolicy(rate=1.0, burst=2))
+        assert registry.acquire("t") == "interactive"
+        registry.release("t")
+        registry.acquire("t")
+        registry.release("t")
+        with pytest.raises(TenantRateLimitError) as info:
+            registry.acquire("t")
+        assert info.value.code == "TENANT_RATE_LIMITED"
+        assert info.value.tenant == "t"
+        assert info.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)  # one token refilled at rate=1/s
+        registry.acquire("t")
+        registry.release("t")
+
+    def test_refill_caps_at_burst(self):
+        registry, clock = _registry(t=TenantPolicy(rate=10.0, burst=3))
+        clock.advance(3600.0)
+        for _ in range(3):
+            registry.acquire("t")
+            registry.release("t")
+        with pytest.raises(TenantRateLimitError):
+            registry.acquire("t")
+
+    def test_rate_zero_suspends_outright(self):
+        registry, _ = _registry(t=TenantPolicy(rate=0.0))
+        with pytest.raises(TenantRateLimitError) as info:
+            registry.acquire("t")
+        assert info.value.retry_after == 60.0
+
+    def test_rate_none_never_limits(self):
+        registry, _ = _registry()
+        for _ in range(100):
+            registry.acquire("unknown")
+            registry.release("unknown")
+        snap = registry.stats()[0]
+        assert snap.admitted == 100 and snap.rate_limited == 0
+
+    def test_rejection_consumes_nothing(self):
+        registry, clock = _registry(t=TenantPolicy(rate=1.0, burst=1))
+        registry.acquire("t")
+        with pytest.raises(TenantRateLimitError):
+            registry.acquire("t")
+        registry.release("t")
+        clock.advance(1.0)
+        registry.acquire("t")  # the failed attempt did not burn a token
+
+
+class TestQuota:
+    def test_in_flight_quota(self):
+        registry, _ = _registry(t=TenantPolicy(max_concurrent=2))
+        registry.acquire("t")
+        registry.acquire("t")
+        with pytest.raises(TenantQuotaError) as info:
+            registry.acquire("t")
+        assert info.value.code == "TENANT_QUOTA_EXCEEDED"
+        registry.release("t")
+        registry.acquire("t")  # slot freed
+
+    def test_admit_context_releases_on_error(self):
+        registry, _ = _registry(t=TenantPolicy(max_concurrent=1))
+        with pytest.raises(RuntimeError):
+            with registry.admit("t"):
+                raise RuntimeError("query blew up")
+        with registry.admit("t") as priority:
+            assert priority == "interactive"
+
+    def test_tenants_are_isolated(self):
+        registry, _ = _registry(a=TenantPolicy(rate=1.0, burst=1),
+                                b=TenantPolicy(rate=1.0, burst=1))
+        registry.acquire("a")
+        registry.acquire("b")  # a's empty bucket does not affect b
+
+
+class TestRegistry:
+    def test_set_policy_resets_state(self):
+        registry, _ = _registry()
+        registry.acquire("t")
+        registry.set_policy("t", TenantPolicy(rate=0.0))
+        assert registry.policy_for("t").rate == 0.0
+        with pytest.raises(TenantRateLimitError):
+            registry.acquire("t")
+
+    def test_stats_snapshot(self):
+        registry, _ = _registry(b=TenantPolicy(max_concurrent=1))
+        registry.acquire("a")
+        registry.acquire("b")
+        with pytest.raises(TenantQuotaError):
+            registry.acquire("b")
+        snaps = {s.tenant: s for s in registry.stats()}
+        assert sorted(snaps) == ["a", "b"]
+        assert snaps["a"].in_flight == 1
+        assert snaps["b"].quota_rejected == 1
+        assert snaps["b"].peak_in_flight == 1
+        payload = snaps["a"].to_dict()
+        assert payload["admitted"] == 1
