@@ -26,11 +26,14 @@ reloads instead of rebuilding. The I/O path is hardened:
   I/O trouble fast with :class:`~repro.errors.CircuitOpenError`; the
   cache degrades (drop instead of spill, rebuild instead of reload)
   rather than queueing every query behind a dead disk;
-* **orphan sweeping** — spill files are named ``repro-spill-*.npz``;
-  when a caller-provided directory is first opened, leftover spill and
-  temp files from a previous (possibly crashed) process are removed.
-  Self-owned temp directories are additionally registered with
-  ``atexit`` so a normal interpreter shutdown cannot leak them.
+* **orphan sweeping** — spill files are named
+  ``repro-spill-p<pid>-*.npz``; when a caller-provided directory is
+  first opened, leftover spill and temp files whose owning process is
+  *dead* are removed. Files tagged with a live pid are left alone, so
+  two sessions (or two processes) sharing one spill directory never
+  delete each other's files at startup. Self-owned temp directories
+  are additionally registered with ``atexit`` so a normal interpreter
+  shutdown cannot leak them.
 
 Only merge sort trees whose aggregate annotations are numpy arrays (or
 absent) are spillable — the same restriction :func:`repro.mst.persist.
@@ -39,9 +42,19 @@ AggregateSpec` is kept in memory alongside the spill path and re-attached
 on reload, so reloaded trees answer :meth:`~repro.mst.tree.MergeSortTree.
 aggregate` queries identically.
 
+Beyond evicted index structures, the manager also round-trips
+*partition chunks* — plain dicts of numpy arrays holding a completed
+partition's row positions and computed window values — for the
+operator's partition-at-a-time out-of-core mode
+(:meth:`SpillManager.spill_chunk` / :meth:`SpillManager.load_chunk`).
+Chunks get the same hardening: atomic tmp+rename writes, CRC32
+verification on reload, bounded retries on the context clock.
+
 Fault-injection sites (see :mod:`repro.resilience.faults`):
 ``spill.write`` fires once per write attempt, ``spill.read`` once per
-read attempt — so retry behaviour is directly testable.
+read attempt, ``partition.spill`` once per chunk-write attempt and
+``partition.reload`` once per chunk-read attempt — so retry behaviour
+is directly testable.
 """
 
 from __future__ import annotations
@@ -49,6 +62,7 @@ from __future__ import annotations
 import atexit
 import glob
 import os
+import re
 import shutil
 import tempfile
 import uuid
@@ -60,6 +74,29 @@ from repro.resilience.context import current_context
 from repro.resilience.guard import breaker_allow, breaker_failure
 
 _SPILL_PREFIX = "repro-spill-"
+
+#: Spill files carry their owner's pid: ``repro-spill-p<pid>-<hex>.npz``.
+_PID_PATTERN = re.compile(re.escape(_SPILL_PREFIX) + r"p(\d+)-")
+
+
+def _spill_name() -> str:
+    """A fresh pid-tagged spill file stem (no extension)."""
+    return f"{_SPILL_PREFIX}p{os.getpid()}-{uuid.uuid4().hex}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we may not clean up after."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - unknowable: assume alive
+        return True
+    return True
 
 
 def can_spill(structure: Any) -> bool:
@@ -91,12 +128,19 @@ def sweep_orphans(directory: str) -> int:
 
     Targets only this module's naming scheme (``repro-spill-*.npz`` and
     their ``.tmp`` siblings), so unrelated files in a shared directory
-    are never touched. A spill directory belongs to exactly one
-    :class:`~repro.cache.store.StructureCache`, so anything matching at
-    startup is an orphan of a previous process by construction.
+    are never touched. Spill files are pid-tagged
+    (``repro-spill-p<pid>-…``); a file whose owning process is still
+    alive belongs to a *concurrent* session sharing the directory and
+    is skipped — only files from dead processes (and legacy untagged
+    files, which no live manager can own) are orphans. This is what
+    lets two sessions point at one spill directory without the second
+    one's startup sweep deleting the first one's live spill files.
     """
     removed = 0
     for path in glob.glob(os.path.join(directory, f"{_SPILL_PREFIX}*.npz")):
+        match = _PID_PATTERN.match(os.path.basename(path))
+        if match is not None and _pid_alive(int(match.group(1))):
+            continue
         try:
             os.remove(path)
             removed += 1
@@ -166,7 +210,7 @@ class SpillManager:
         # Open breaker: fail fast with CircuitOpenError; the cache
         # degrades the eviction to a drop.
         breaker_allow(ctx, breaker)
-        name = f"{_SPILL_PREFIX}{uuid.uuid4().hex}"
+        name = _spill_name()
         path = os.path.join(self.directory, f"{name}.npz")
         # numpy appends ".npz" to foreign suffixes, so the temp file must
         # keep the extension: <name>.tmp.npz -> atomic rename -> <name>.npz
@@ -267,6 +311,79 @@ class SpillManager:
             span.annotate(bytes=nbytes)
         tree.aggregate_spec = meta
         return tree
+
+    # ------------------------------------------------------------------
+    # partition chunks (out-of-core window execution)
+    # ------------------------------------------------------------------
+    def spill_chunk(self, arrays: "Dict[str, Any]") -> Tuple[str, int]:
+        """Write a dict of numpy arrays as one checksummed ``.npz``.
+
+        Used by the window operator's partition-at-a-time out-of-core
+        mode to park a completed partition's row positions and computed
+        values on disk. Returns ``(path, nbytes)``; raises ``OSError``
+        when every write attempt failed. Fires the ``partition.spill``
+        site once per attempt."""
+        import numpy as np
+
+        name = _spill_name()
+        path = os.path.join(self.directory, f"{name}.npz")
+        tmp = os.path.join(self.directory, f"{name}.tmp.npz")
+
+        def write_once() -> None:
+            current_context().fire("partition.spill")
+            try:
+                with open(tmp, "wb") as handle:
+                    np.savez(handle, **arrays)
+                self._checksums[path] = _file_crc32(tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                self._checksums.pop(path, None)
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+
+        self._with_retries(write_once)
+        nbytes = os.path.getsize(path)
+        self.bytes_written += nbytes
+        return path, nbytes
+
+    def load_chunk(self, path: str) -> "Dict[str, Any]":
+        """Reload a partition chunk written by :meth:`spill_chunk`.
+
+        Verifies the recorded CRC32 before decoding; mismatches and
+        undecodable files raise
+        :class:`~repro.errors.SpillCorruptionError` (the operator
+        answers by re-evaluating the partition from source — the
+        evaluation is deterministic, so results stay bit-identical).
+        Fires ``partition.reload`` once per attempt."""
+        import numpy as np
+
+        def read_once() -> "Dict[str, Any]":
+            current_context().fire("partition.reload")
+            expected = self._checksums.get(path)
+            if expected is not None:
+                actual = _file_crc32(path)
+                if actual != expected:
+                    raise SpillCorruptionError(
+                        f"partition chunk {os.path.basename(path)!r} "
+                        f"failed its checksum (crc32 {actual:#010x}, "
+                        f"expected {expected:#010x})")
+            try:
+                with np.load(path, allow_pickle=False) as bundle:
+                    return {key: bundle[key] for key in bundle.files}
+            except OSError:
+                raise  # transient: let the retry loop handle it
+            except Exception as exc:
+                raise SpillCorruptionError(
+                    f"partition chunk {os.path.basename(path)!r} could "
+                    f"not be decoded: {type(exc).__name__}: {exc}"
+                ) from exc
+
+        arrays = self._with_retries(read_once)
+        self.bytes_read += sum(a.nbytes for a in arrays.values())
+        return arrays
 
     def _with_retries(self, operation: Callable[[], Any]) -> Any:
         """Run ``operation``, retrying transient OSError with backoff.

@@ -110,10 +110,16 @@ class StructureCache:
     def __init__(self, budget_bytes: Optional[int] = None,
                  spill_dir: Optional[str] = None, spill: bool = True,
                  spill_retries: int = 2, spill_backoff: float = 0.01,
-                 spill_sleep=None, verify_reload: bool = True) -> None:
+                 spill_sleep=None, verify_reload: bool = True,
+                 governor=None) -> None:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
         self._budget = MemoryBudget(budget_bytes)
+        #: Session MemoryGovernor (optional). Every byte charged against
+        #: the private budget is mirrored into the session ledger under
+        #: the ``structure_cache`` tag, and session-wide pressure drives
+        #: eviction exactly like the private budget does.
+        self._governor = governor
         self._spill_enabled = spill
         self._spill = SpillManager(spill_dir, max_retries=spill_retries,
                                    backoff=spill_backoff, sleep=spill_sleep)
@@ -169,7 +175,7 @@ class StructureCache:
                     self._stats.corruptions += 1
                     ctx.record_corruption()
                     self._spill.discard(entry.spill_path)
-                    self._budget.release(entry.nbytes)
+                    self._release(entry.nbytes)
                     del self._entries[key]
                     entry = None
                 except CircuitOpenError:
@@ -178,16 +184,16 @@ class StructureCache:
                     # honest — this is degradation, not corruption.
                     self._stats.breaker_skips += 1
                     self._spill.discard(entry.spill_path)
-                    self._budget.release(entry.nbytes)
+                    self._release(entry.nbytes)
                     del self._entries[key]
                     entry = None
                 else:
                     self._spill.discard(entry.spill_path)
                     entry.spill_path = None
                     entry.spill_meta = None
-                    self._budget.release(entry.nbytes)
+                    self._release(entry.nbytes)
                     entry.nbytes = entry.live_bytes
-                    self._budget.charge(entry.nbytes)
+                    self._charge(entry.nbytes)
                     self._stats.reloads += 1
                     ctx.telemetry.count_cache_reload()
             if entry is not None:
@@ -208,7 +214,7 @@ class StructureCache:
             entry = _CacheEntry(key=key, structure=structure, nbytes=nbytes,
                                 live_bytes=nbytes, pins=1 if pin else 0)
             self._entries[key] = entry
-            self._budget.charge(nbytes)
+            self._charge(nbytes)
             self._stats.misses += 1
             current_context().telemetry.count_cache_miss()
             self._evict_to_budget()
@@ -241,13 +247,42 @@ class StructureCache:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def spill_manager(self) -> Optional[SpillManager]:
+        """The spill manager when spilling is enabled, else ``None``.
+
+        The window operator borrows it for partition-chunk I/O in
+        out-of-core mode, so chunks land in the same directory with the
+        same checksum/retry discipline as evicted structures."""
+        return self._spill if self._spill_enabled else None
+
+    # ------------------------------------------------------------------
+    # byte accounting
+    # ------------------------------------------------------------------
+    def _charge(self, nbytes: int) -> None:
+        self._budget.charge(nbytes)
+        if self._governor is not None:
+            self._governor.charge(nbytes, tag="structure_cache")
+
+    def _release(self, nbytes: int) -> None:
+        self._budget.release(nbytes)
+        if self._governor is not None:
+            self._governor.release(nbytes, tag="structure_cache")
+
     # ------------------------------------------------------------------
     # eviction
     # ------------------------------------------------------------------
+    def _over_any_budget(self) -> bool:
+        if self._budget.over_budget:
+            return True
+        gov = self._governor
+        # Session-wide pressure (queries reserving bytes elsewhere)
+        # evicts cached structures too: the cache is the session's most
+        # reclaimable memory.
+        return gov is not None and gov.limited and gov.over_budget
+
     def _evict_to_budget(self) -> None:
-        if self._budget.unlimited:
-            return
-        while self._budget.over_budget:
+        while self._over_any_budget():
             victim = self._lru_victim()
             if victim is None:
                 return  # everything left is pinned or already spilled
@@ -272,25 +307,25 @@ class StructureCache:
                 # plain drop rather than failing the unrelated acquire
                 # that triggered it. The structure rebuilds on next use.
                 self._stats.spill_failures += 1
-                self._budget.release(entry.nbytes)
+                self._release(entry.nbytes)
                 del self._entries[entry.key]
                 return
             except CircuitOpenError:
                 # The spill.write breaker is open: drop instead of
                 # queueing this eviction behind a dead disk.
                 self._stats.breaker_skips += 1
-                self._budget.release(entry.nbytes)
+                self._release(entry.nbytes)
                 del self._entries[entry.key]
                 return
             entry.spill_path = path
             entry.spill_meta = meta
             entry.structure = None
-            self._budget.release(entry.nbytes)
+            self._release(entry.nbytes)
             entry.nbytes = _SPILLED_RESIDUAL_BYTES
-            self._budget.charge(entry.nbytes)
+            self._charge(entry.nbytes)
             self._stats.spills += 1
         else:
-            self._budget.release(entry.nbytes)
+            self._release(entry.nbytes)
             del self._entries[entry.key]
 
     # ------------------------------------------------------------------
@@ -324,7 +359,7 @@ class StructureCache:
         """Drop every entry (including pinned ones) and spill files."""
         with self._lock:
             for entry in self._entries.values():
-                self._budget.release(entry.nbytes)
+                self._release(entry.nbytes)
                 if entry.spill_path is not None:
                     self._spill.discard(entry.spill_path)
             self._entries.clear()

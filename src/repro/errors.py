@@ -196,6 +196,28 @@ class ResourceLimitError(ResilienceError):
     code = "RESOURCE_LIMIT"
 
 
+class MemoryPressureError(ResourceLimitError):
+    """The session memory governor refused (or shed) this work.
+
+    Raised when a hard byte reservation against the session-wide
+    :class:`~repro.resilience.memory.MemoryGovernor` cannot be granted
+    before its wait budget expires, or when a single allocation could
+    never fit the configured ``memory_budget_bytes``. The work never
+    started (reservations happen before execution), so retrying after
+    ``retry_after`` seconds — once in-flight queries release their
+    bytes — is always safe. The serving tier maps this to HTTP 503
+    with a ``Retry-After`` header."""
+
+    code = "MEMORY_PRESSURE"
+
+    def __init__(self, message: str, requested: int = 0,
+                 available: int = 0, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+        self.retry_after = retry_after
+
+
 class QueryRejectedError(ResilienceError):
     """The admission gateway shed this query instead of running it.
 

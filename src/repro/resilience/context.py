@@ -199,7 +199,8 @@ class ExecutionContext:
                  breakers=None,
                  verify_rate: float = 0.0,
                  verify_seed: int = 0,
-                 tracer=None) -> None:
+                 tracer=None,
+                 memory=None) -> None:
         self.clock = clock if clock is not None else SystemClock()
         if deadline is None and timeout is not None:
             deadline = self.clock.monotonic() + timeout
@@ -211,6 +212,11 @@ class ExecutionContext:
         #: :class:`~repro.resilience.circuit.BreakerRegistry`), or None
         #: when the query runs unprotected.
         self.breakers = breakers
+        #: Session-wide byte ledger (a
+        #: :class:`~repro.resilience.memory.MemoryGovernor`), or None
+        #: when the query runs ungoverned. The window operator consults
+        #: it for out-of-core decisions; the build guard enforces it.
+        self.memory = memory
         if not 0.0 <= verify_rate <= 1.0:
             raise ValueError("verify_rate must be in [0, 1]")
         #: Fraction of partitions shadow-verified against the naive

@@ -29,12 +29,26 @@ Sites currently wired into the engine:
   :class:`~repro.resilience.gateway.QueryGateway`;
 * ``circuit.probe``  — on every half-open probe a
   :class:`~repro.resilience.circuit.CircuitBreaker` admits, so tests
-  can fail the recovery path deterministically.
+  can fail the recovery path deterministically;
+* ``memory.reserve`` — on every byte-reservation attempt at the
+  :class:`~repro.resilience.memory.MemoryGovernor`;
+* ``partition.spill`` — once per write attempt of an out-of-core
+  partition result chunk
+  (:meth:`repro.cache.spill.SpillManager.spill_chunk`);
+* ``partition.reload`` — once per read attempt of a spilled partition
+  chunk (:meth:`repro.cache.spill.SpillManager.load_chunk`).
 
 The injector is carried by the active
 :class:`~repro.resilience.context.ExecutionContext`; code under test
 reaches it via ``current_context().fire(site)``, which also counts the
 injected fault in the context's health counters.
+
+:meth:`FaultInjector.plan` validates the site name against
+:func:`known_fault_sites` — the list used to drift silently from the
+call sites actually wired into the engine; now arming a typo (or a
+site that was renamed away) fails loudly, and
+``tests/test_fault_sites.py`` greps the engine source to keep the list
+honest in the other direction.
 """
 
 from __future__ import annotations
@@ -45,7 +59,7 @@ from typing import Callable, Dict, List, Optional
 
 
 def _default_exception(site: str) -> Exception:
-    if site.startswith("spill."):
+    if site.startswith(("spill.", "partition.")):
         return OSError(f"injected I/O fault at {site!r}")
     return RuntimeError(f"injected fault at {site!r}")
 
@@ -78,7 +92,15 @@ class FaultInjector:
              ) -> "FaultInjector":
         """Arm ``site``: skip the first ``after`` calls, then raise on
         the next ``times`` calls (``times < 0`` = every call forever).
-        Returns self for chaining."""
+        Returns self for chaining.
+
+        Raises :class:`ValueError` for a site name the engine never
+        fires — an armed-but-dead plan is a test that silently checks
+        nothing."""
+        if site not in _KNOWN_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; the engine fires "
+                f"{sorted(_KNOWN_SITES)}")
         with self._lock:
             self._plans[site] = _FaultPlan(times=times, after=after,
                                            exception=exception)
@@ -128,9 +150,26 @@ class FaultInjector:
 #: Shared disabled injector for ambient contexts; never armed.
 NO_FAULTS = FaultInjector()
 
+_KNOWN_SITES = frozenset({
+    "spill.write", "spill.read", "structure.build",
+    "parallel.worker", "parallel.morsel", "cache.evict",
+    "cache.reload", "gateway.admit", "circuit.probe",
+    "memory.reserve", "partition.spill", "partition.reload",
+})
+
+
+def known_fault_sites() -> List[str]:
+    """The site names wired into the engine, sorted.
+
+    :meth:`FaultInjector.plan` rejects anything else;
+    ``tests/test_fault_sites.py`` asserts this list matches the
+    ``fire(...)`` call sites actually present in the source tree."""
+    return sorted(_KNOWN_SITES)
+
 
 def sites() -> List[str]:
     """The site names wired into the engine (for docs and validation)."""
     return ["spill.write", "spill.read", "structure.build",
             "parallel.worker", "parallel.morsel", "cache.evict",
-            "cache.reload", "gateway.admit", "circuit.probe"]
+            "cache.reload", "gateway.admit", "circuit.probe",
+            "memory.reserve", "partition.spill", "partition.reload"]

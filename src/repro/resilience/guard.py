@@ -95,9 +95,18 @@ def guarded_builder(kind: str,
             raise StructureBuildError(kind, exc) from exc
         if breaker is not None:
             breaker.record_success()
-        if ctx.limits.max_structure_bytes is not None:
+        governor = getattr(ctx, "memory", None)
+        if ctx.limits.max_structure_bytes is not None or (
+                governor is not None and governor.limited):
             from repro.cache.budget import structure_bytes
-            ctx.guard_structure_bytes(kind, structure_bytes(structure))
+            nbytes = structure_bytes(structure)
+            ctx.guard_structure_bytes(kind, nbytes)
+            if governor is not None:
+                # A structure bigger than the whole session budget can
+                # never be held: MemoryPressureError is a
+                # ResourceLimitError, so FALLBACK_ERRORS routes it to
+                # the naive evaluator like any oversized build.
+                governor.guard_structure(kind, nbytes)
         ctx.telemetry.count_structure_build()
         return structure
 

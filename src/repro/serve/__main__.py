@@ -11,6 +11,16 @@ file maps tenant ids to policies::
 
 The demo catalog is the TPC-H ``lineitem`` generator (the same table
 the benchmarks use), sized by ``--rows``.
+
+Lifecycle signals:
+
+* ``SIGTERM`` / ``SIGINT`` — graceful drain: stop accepting, let
+  in-flight requests finish (up to ``--drain-timeout`` seconds), then
+  exit 0 so orchestrators see a clean shutdown;
+* ``SIGHUP`` — hot-reload the ``--tenants`` policy file. The new file
+  is parsed and validated *before* the swap; a malformed file logs the
+  error and keeps the old policies — the server never crashes or drops
+  its limits because of a bad reload.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 from typing import Dict
 
@@ -44,6 +55,9 @@ def main(argv=None) -> int:
                         help="rows in the demo lineitem table")
     parser.add_argument("--tenants", metavar="FILE",
                         help="JSON file of tenant policies")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to wait for in-flight requests "
+                             "on SIGTERM/SIGINT before cancelling")
     args = parser.parse_args(argv)
 
     from repro.tpch import lineitem
@@ -56,23 +70,50 @@ def main(argv=None) -> int:
     service = QueryService(session, tenants=tenants, own_session=True)
     server = QueryServer(service, host=args.host, port=args.port)
 
+    def reload_tenants() -> None:
+        if not args.tenants:
+            print("SIGHUP: no --tenants file configured, ignoring",
+                  file=sys.stderr, flush=True)
+            return
+        try:
+            policies = _load_tenants(args.tenants)
+        except Exception as exc:  # bad JSON/policy: keep old policies
+            print(f"SIGHUP: reload of {args.tenants} failed "
+                  f"({exc}); keeping current tenant policies",
+                  file=sys.stderr, flush=True)
+            return
+        tenants.replace_policies(policies)
+        print(f"SIGHUP: reloaded {len(policies)} tenant policies "
+              f"from {args.tenants}", file=sys.stderr, flush=True)
+
     async def run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGHUP, reload_tenants)
+        except NotImplementedError:
+            pass  # platform without loop signal support
         await server.start()
         print(f"repro.serve listening on "
               f"http://{args.host}:{server.port} "
               f"(lineitem rows={args.rows}, "
               f"gateway slots={config.max_concurrent})", flush=True)
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+        await stop.wait()
+        print(f"draining (timeout {args.drain_timeout:g}s)",
+              file=sys.stderr, flush=True)
+        await server.drain(timeout=args.drain_timeout)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
+        # Signal handlers not installable (non-main thread / platform):
+        # fall back to the abrupt-but-clean KeyboardInterrupt path.
         print("shutting down", file=sys.stderr)
     finally:
         service.close()
+    print("drained, bye", file=sys.stderr, flush=True)
     return 0
 
 

@@ -58,11 +58,23 @@ class QueryServer:
         self.host = host
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Graceful-drain state, all touched only on the event loop
+        #: thread: once ``_draining`` is set the listener is closed,
+        #: in-flight requests run to completion (``_idle`` signals the
+        #: last one), and idle keep-alive connections are cancelled.
+        self._draining = False
+        self._active = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._connections: set = set()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        # Created here, not in __init__, so the Event binds to the loop
+        # the server actually runs on.
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host,
             port=self._requested_port)
@@ -86,13 +98,42 @@ class QueryServer:
             self._server.close()
             await self._server.wait_closed()
 
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        Closes the listener so no new connections arrive, waits (up to
+        ``timeout`` seconds, forever when None) for every in-flight
+        request to finish and its response to flush, then cancels the
+        remaining connection handlers — which at that point are either
+        idle keep-alive connections parked in ``read_request`` or
+        requests that outlived the deadline."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._idle is not None and not self._idle.is_set():
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass  # deadline expired: cancel the stragglers
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
         try:
             while True:
+                if self._draining:
+                    return
                 try:
                     request = await read_request(reader)
                 except ProtocolError as exc:
@@ -105,15 +146,24 @@ class QueryServer:
                     return
                 if request is None:
                     return
-                status, payload = await self._dispatch(request)
-                writer.write(payload)
-                await writer.drain()
-                if not request.keep_alive:
+                self._active += 1
+                self._idle.clear()
+                try:
+                    status, payload = await self._dispatch(request)
+                    writer.write(payload)
+                    await writer.drain()
+                finally:
+                    self._active -= 1
+                    if self._active == 0:
+                        self._idle.set()
+                if not request.keep_alive or self._draining:
                     return
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.CancelledError):
-            pass  # client went away; nothing to answer
+            pass  # client went away (or drain cancelled an idle wait)
         finally:
+            if task is not None:
+                self._connections.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()

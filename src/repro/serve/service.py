@@ -173,6 +173,7 @@ class QueryService:
             "open_breakers": open_breakers,
             "tenants": [t.to_dict() for t in self.tenants.stats()],
             "plan_cache": self.session.plan_cache.stats().to_dict(),
+            "memory": self.session.memory.stats().to_dict(),
         }
 
     # ------------------------------------------------------------------

@@ -151,6 +151,27 @@ class TenantRegistry:
             self._policies[tenant] = policy
             self._states.pop(tenant, None)  # rebuild with new limits
 
+    def replace_policies(
+            self, policies: Dict[str, TenantPolicy],
+            default_policy: Optional[TenantPolicy] = None) -> None:
+        """Atomically swap the whole policy map (SIGHUP hot-reload).
+
+        Live tenant state survives the swap: counters and in-flight
+        quotas carry over, each state is re-pointed at its new policy
+        (or the default when the tenant disappeared from the file), and
+        token balances are clamped to the new burst so a shrunk limit
+        takes effect immediately instead of after the old burst drains.
+        Callers must validate the new map *before* calling — this
+        method never raises on policy content."""
+        with self._lock:
+            self._policies = dict(policies)
+            if default_policy is not None:
+                self._default = default_policy
+            for tenant, state in self._states.items():
+                pol = self._policies.get(tenant, self._default)
+                state.policy = pol
+                state.tokens = min(state.tokens, float(pol.burst))
+
     def policy_for(self, tenant: str) -> TenantPolicy:
         with self._lock:
             return self._policies.get(tenant, self._default)

@@ -10,6 +10,7 @@ QueryRejectedError      429     shed — back off and retry
 TenantRateLimitError    429     per-tenant token bucket empty
 TenantQuotaError        429     per-tenant concurrency quota full
 CircuitOpenError        503     dependency failing — retry later
+MemoryPressureError     503     memory governor shed — retry later
 QueryTimeoutError       408     deadline expired mid-query
 QueryCancelledError     499     request abandoned (nginx idiom)
 ResourceLimitError      422     query exceeds per-query limits
@@ -31,6 +32,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import (
     CircuitOpenError,
     ConfigurationError,
+    MemoryPressureError,
     QueryCancelledError,
     QueryRejectedError,
     QueryTimeoutError,
@@ -46,6 +48,7 @@ _STATUS_BY_TYPE: Tuple[Tuple[type, int], ...] = (
     # Order matters: most-derived first.
     (QueryRejectedError, 429),
     (CircuitOpenError, 503),
+    (MemoryPressureError, 503),
     (QueryTimeoutError, 408),
     (QueryCancelledError, 499),
     (ResourceLimitError, 422),

@@ -84,6 +84,12 @@ class SessionConfig:
       ``verify_reload``;
     * plan cache: ``plan_cache_bytes`` (LRU budget for parsed
       statements; ``0`` disables, ``None`` is unlimited);
+    * memory governor: ``memory_budget_bytes`` (session-wide byte
+      ledger; ``None`` → ``REPRO_MEMORY_BUDGET``, unlimited when
+      unset) and ``out_of_core`` (``None`` = engage partition-at-a-
+      time spill execution automatically under pressure, ``True`` =
+      force it, ``False`` = disable it; ``None`` falls back to
+      ``REPRO_OUT_OF_CORE``);
     * guardrail defaults: ``timeout``, ``limits``;
     * gateway: ``max_concurrent``, ``max_queue``, ``queue_timeout``;
     * breakers: ``breaker_threshold``, ``breaker_reset``;
@@ -97,6 +103,8 @@ class SessionConfig:
 
     budget_bytes: Optional[int] = None
     plan_cache_bytes: Optional[int] = 8 << 20
+    memory_budget_bytes: Optional[int] = None
+    out_of_core: Optional[bool] = None
     spill_dir: Optional[str] = None
     spill: bool = True
     timeout: Optional[float] = None
@@ -123,6 +131,10 @@ class SessionConfig:
                  or self.plan_cache_bytes >= 0,
                  f"plan_cache_bytes must be >= 0, "
                  f"got {self.plan_cache_bytes}")
+        _require(self.memory_budget_bytes is None
+                 or self.memory_budget_bytes > 0,
+                 f"memory_budget_bytes must be > 0, "
+                 f"got {self.memory_budget_bytes}")
         _require(self.spill or self.spill_dir is None,
                  "spill_dir was given but spill=False; either enable "
                  "spilling or drop the directory")
@@ -155,6 +167,7 @@ class SessionConfig:
         """Build a config from ``REPRO_*`` environment variables.
 
         Recognised: ``REPRO_BUDGET_BYTES``, ``REPRO_PLAN_CACHE_BYTES``,
+        ``REPRO_MEMORY_BUDGET``, ``REPRO_OUT_OF_CORE``,
         ``REPRO_SPILL_DIR``,
         ``REPRO_SPILL``, ``REPRO_TIMEOUT``, ``REPRO_MAX_CONCURRENT``,
         ``REPRO_MAX_QUEUE``, ``REPRO_QUEUE_TIMEOUT``,
@@ -172,6 +185,8 @@ class SessionConfig:
 
         put("budget_bytes", _env_int(env, "REPRO_BUDGET_BYTES"))
         put("plan_cache_bytes", _env_int(env, "REPRO_PLAN_CACHE_BYTES"))
+        put("memory_budget_bytes", _env_int(env, "REPRO_MEMORY_BUDGET"))
+        put("out_of_core", _env_bool(env, "REPRO_OUT_OF_CORE"))
         put("spill_dir", env.get("REPRO_SPILL_DIR") or None)
         put("spill", _env_bool(env, "REPRO_SPILL"))
         put("timeout", _env_float(env, "REPRO_TIMEOUT"))
@@ -190,6 +205,24 @@ class SessionConfig:
 
     def replace(self, **changes: Any) -> "SessionConfig":
         return dataclasses.replace(self, **changes)
+
+
+def resolve_memory_settings(config: "SessionConfig"
+                            ) -> "tuple[Optional[int], Optional[bool]]":
+    """The effective (memory budget, out-of-core mode) for a session.
+
+    Explicit config fields win; unset fields fall back to the
+    ``REPRO_MEMORY_BUDGET`` / ``REPRO_OUT_OF_CORE`` environment
+    variables (mirroring how ``workers=None`` defers to
+    ``REPRO_WORKERS``), so a CI leg can put the whole suite under a
+    tight budget without touching every test."""
+    budget = config.memory_budget_bytes
+    if budget is None:
+        budget = _env_int(os.environ, "REPRO_MEMORY_BUDGET")
+    out_of_core = config.out_of_core
+    if out_of_core is None:
+        out_of_core = _env_bool(os.environ, "REPRO_OUT_OF_CORE")
+    return budget, out_of_core
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import (
     ConfigurationError,
+    MemoryPressureError,
     QueryCancelledError,
     QueryRejectedError,
     QueryTimeoutError,
@@ -243,6 +244,51 @@ def _parse_traced(sql_or_ast: Union[str, ast.SelectStmt],
     return parse(sql_or_ast)
 
 
+#: Fixed per-query overhead charged on top of scanned-table bytes:
+#: sort permutations, partition boundaries, small intermediates.
+_QUERY_OVERHEAD_BYTES = 64 << 10
+
+
+def _collect_table_names(stmt: ast.SelectStmt, out: set) -> None:
+    """All catalog table names a statement scans (CTEs recursed)."""
+    for _name, cte in stmt.ctes:
+        _collect_table_names(cte, out)
+
+    def walk(node: Any) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.NamedTable):
+            out.add(node.name.lower())
+        elif isinstance(node, ast.DerivedTable):
+            _collect_table_names(node.select, out)
+        elif isinstance(node, ast.Join):
+            walk(node.left)
+            walk(node.right)
+
+    walk(stmt.from_)
+
+
+def _estimate_query_bytes(stmt: ast.SelectStmt, catalog: Catalog) -> int:
+    """An admission-time working-set estimate for one statement.
+
+    Sums the resident bytes of every catalog table the statement scans
+    (CTE names that shadow nothing in the catalog contribute nothing —
+    their inputs are already counted through their own scans), doubled
+    for materialised intermediates and window output columns, plus a
+    fixed overhead. Deliberately coarse: the governor needs a
+    consistent admission signal, not an exact footprint — actual
+    structure bytes are charged precisely as they are built."""
+    from repro.resilience.memory import table_bytes
+
+    names: set = set()
+    _collect_table_names(stmt, names)
+    total = 0
+    for name in names:
+        if name in catalog:
+            total += table_bytes(catalog.lookup(name))
+    return total * 2 + _QUERY_OVERHEAD_BYTES
+
+
 class Session:
     """A query session owning one window-structure cache.
 
@@ -348,10 +394,20 @@ class Session:
             config = SessionConfig()
         self.config = config
         self.catalog = catalog
+        #: Session-wide byte ledger (see repro.resilience.memory):
+        #: query reservations, structure-cache and plan-cache bytes all
+        #: charge one budget, and pressure triggers eviction, spill
+        #: execution or typed shedding instead of unbounded growth.
+        from repro.resilience.memory import MemoryGovernor
+        from repro.sql.config import resolve_memory_settings
+        mem_budget, out_of_core = resolve_memory_settings(config)
+        self.memory = MemoryGovernor(mem_budget, out_of_core=out_of_core,
+                                     clock=config.clock)
         self.cache = StructureCache(budget_bytes=config.budget_bytes,
                                     spill_dir=config.spill_dir,
                                     spill=config.spill,
-                                    verify_reload=config.verify_reload)
+                                    verify_reload=config.verify_reload,
+                                    governor=self.memory)
         self.default_timeout = config.timeout
         self.default_limits = config.limits
         self.faults = config.faults
@@ -371,7 +427,8 @@ class Session:
         #: a pre-parsed AST) is submitted. ``plan_cache_bytes=0``
         #: disables it.
         from repro.sql.plancache import PlanCache
-        self.plan_cache = PlanCache(budget_bytes=config.plan_cache_bytes)
+        self.plan_cache = PlanCache(budget_bytes=config.plan_cache_bytes,
+                                    governor=self.memory)
         #: One scheduler (and thread pool) per session: every admitted
         #: query shares it, so total worker threads stay bounded at
         #: ``workers`` no matter how large ``max_concurrent`` is.
@@ -444,14 +501,28 @@ class Session:
             breakers=self.breakers,
             verify_rate=self.verify_rate,
             verify_seed=self.verify_seed,
-            tracer=tracer)
+            tracer=tracer,
+            memory=self.memory)
         clock = context.clock
         started = clock.monotonic()
         outcome = "error"
         table: Optional[Table] = None
         stmt: Optional[ast.SelectStmt] = None
+        reservation = None
         try:
             stmt = self._parse(sql_or_ast, context)
+            # Admission-time memory reservation: estimate the query's
+            # working set from its scanned tables and reserve it before
+            # taking a gateway slot. Interactive queries always run
+            # (soft reservation, pressure recorded); batch queries wait
+            # for headroom and are shed with a typed 503 when none
+            # appears within the queue timeout.
+            reservation = self.memory.reserve(
+                _estimate_query_bytes(stmt, self.catalog),
+                tag="query",
+                hard=(options.priority == "batch"),
+                wait_timeout=self.config.queue_timeout,
+                ctx=context)
             with self.gateway.admit(context, priority=options.priority):
                 table = execute(stmt, self.catalog, cache=self.cache,
                                 context=context, parallel=self.parallel)
@@ -465,10 +536,17 @@ class Session:
         except QueryCancelledError:
             outcome = "cancelled"
             raise
+        except MemoryPressureError:
+            # Must precede ResourceLimitError (its base class): a
+            # governor shed is backpressure, not a per-query limit.
+            outcome = "shed"
+            raise
         except ResourceLimitError:
             outcome = "limit"
             raise
         finally:
+            if reservation is not None:
+                reservation.release()
             if tracer is not None:
                 tracer.finish()
             elapsed = clock.monotonic() - started
@@ -534,7 +612,8 @@ class Session:
             timeout=self.default_timeout,
             limits=self.default_limits,
             clock=self.clock,
-            breakers=self.breakers)
+            breakers=self.breakers,
+            memory=self.memory)
         try:
             with self.gateway.admit(context, priority=priority):
                 with activate(context):
@@ -550,7 +629,7 @@ class Session:
         return _explain(sql_or_ast, cache=self.cache, health=self.health,
                         gateway=self.gateway, breakers=self.breakers,
                         parallel=self.parallel, analysis=analysis,
-                        plan_cache=self.plan_cache)
+                        plan_cache=self.plan_cache, memory=self.memory)
 
     # ------------------------------------------------------------------
     # metrics
@@ -609,6 +688,32 @@ class Session:
             ["resource"])
         b_trips = m.counter("repro_breaker_trips_total",
                             "Breaker trips.", ["resource"])
+        mem_budget = m.gauge("repro_memory_budget_bytes",
+                             "Session memory budget (0 = unlimited).")
+        mem_used = m.gauge("repro_memory_used_bytes",
+                           "Bytes in the session ledger.")
+        mem_reserved = m.gauge("repro_memory_reserved_bytes",
+                               "Bytes held by query reservations.")
+        mem_peak = m.gauge("repro_memory_peak_bytes",
+                           "High-water mark of the session ledger.")
+        mem_reservations = m.counter(
+            "repro_memory_reservations_total",
+            "Query byte reservations granted.")
+        mem_waits = m.counter(
+            "repro_memory_waits_total",
+            "Batch reservations that waited for headroom.")
+        mem_denials = m.counter(
+            "repro_memory_denials_total",
+            "Batch reservations shed under memory pressure.")
+        mem_pressure = m.counter(
+            "repro_memory_pressure_events_total",
+            "Soft reservations granted past the budget.")
+        mem_part_spills = m.counter(
+            "repro_memory_partition_spills_total",
+            "Partition result chunks spilled (out-of-core mode).")
+        mem_part_reloads = m.counter(
+            "repro_memory_partition_reloads_total",
+            "Partition result chunks reloaded (out-of-core mode).")
         p_workers = m.gauge("repro_pool_workers",
                             "Window pool worker threads.")
         p_morsels = m.counter("repro_pool_morsels_total",
@@ -651,6 +756,17 @@ class Session:
                 b_state.set(breaker_states.get(snap.state, -1),
                             resource=snap.name)
                 b_trips.set_total(snap.trips, resource=snap.name)
+            ms = self.memory.stats()
+            mem_budget.set(ms.budget_bytes or 0)
+            mem_used.set(ms.used_bytes)
+            mem_reserved.set(ms.reserved_bytes)
+            mem_peak.set(ms.peak_bytes)
+            mem_reservations.set_total(ms.reservations)
+            mem_waits.set_total(ms.waits)
+            mem_denials.set_total(ms.denials)
+            mem_pressure.set_total(ms.pressure_events)
+            mem_part_spills.set_total(ms.partition_spills)
+            mem_part_reloads.set_total(ms.partition_reloads)
             ps = self.parallel.stats()
             p_workers.set(ps.workers)
             p_morsels.set_total(ps.morsels_run)

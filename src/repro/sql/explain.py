@@ -20,7 +20,7 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
             cache: Any = None, health: Any = None,
             gateway: Any = None, breakers: Any = None,
             parallel: Any = None, analysis: Any = None,
-            plan_cache: Any = None) -> str:
+            plan_cache: Any = None, memory: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
@@ -89,6 +89,14 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
         lines.append("Resilience")
         for line in health.render():
             lines.append("  " + line)
+    if memory is not None:
+        stats = memory.stats()
+        # Quiet for unbudgeted sessions with no pressure events, so the
+        # golden EXPLAIN outputs of ordinary queries stay unchanged.
+        if stats.eventful:
+            lines.append("Memory")
+            for line in stats.render():
+                lines.append("  " + line)
     if parallel is not None:
         stats = parallel.stats()
         # A workers=1 scheduler never parallelises anything; omit the

@@ -141,15 +141,27 @@ class PlanCache:
     """
 
     def __init__(self,
-                 budget_bytes: Optional[int] = DEFAULT_PLAN_CACHE_BYTES
-                 ) -> None:
+                 budget_bytes: Optional[int] = DEFAULT_PLAN_CACHE_BYTES,
+                 governor=None) -> None:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
         self._budget = budget_bytes
+        #: Session MemoryGovernor (optional): cached-plan bytes are
+        #: mirrored into the session ledger under the ``plan_cache``
+        #: tag, and session pressure evicts plans like budget pressure.
+        self._governor = governor
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+
+    def _ledger_charge(self, nbytes: int) -> None:
+        if self._governor is not None:
+            self._governor.charge(nbytes, tag="plan_cache")
+
+    def _ledger_release(self, nbytes: int) -> None:
+        if self._governor is not None:
+            self._governor.release(nbytes, tag="plan_cache")
 
     @property
     def enabled(self) -> bool:
@@ -188,16 +200,22 @@ class PlanCache:
                 return plan, False  # would evict everything; don't store
             self._entries[key] = (plan, nbytes)
             self._bytes += nbytes
+            self._ledger_charge(nbytes)
             self._evict_over_budget()
         return plan, False
 
+    def _over_any_budget(self) -> bool:
+        if self._budget is not None and self._bytes > self._budget:
+            return True
+        gov = self._governor
+        return gov is not None and gov.limited and gov.over_budget
+
     def _evict_over_budget(self) -> None:
         """Drop LRU entries until within budget (lock held)."""
-        if self._budget is None:
-            return
-        while self._bytes > self._budget and self._entries:
+        while self._over_any_budget() and self._entries:
             _, (_, nbytes) = self._entries.popitem(last=False)
             self._bytes -= nbytes
+            self._ledger_release(nbytes)
             self._evictions += 1
 
     # ------------------------------------------------------------------
@@ -208,11 +226,13 @@ class PlanCache:
         with self._lock:
             if sql is None:
                 self._entries.clear()
+                self._ledger_release(self._bytes)
                 self._bytes = 0
                 return
             entry = self._entries.pop(fingerprint_sql(sql), None)
             if entry is not None:
                 self._bytes -= entry[1]
+                self._ledger_release(entry[1])
 
     def __len__(self) -> int:
         with self._lock:

@@ -220,17 +220,21 @@ def _evaluate_group(table: Table, spec: WindowSpec,
             partition_span.__exit__(None, None, None)
 
     scheduler = parallel if parallel is not None else default_scheduler()
-    decision = scheduler.choose(sizes, len(calls))
 
     buffers = [_ResultBuffer(n) for _ in calls]
 
-    def evaluate_partition(p: int, probes: ProbeKernels) -> None:
+    def evaluate_partition(p: int, probes: ProbeKernels,
+                           emit=None) -> None:
         """Build, evaluate and scatter one whole partition.
 
         Cache pins are acquired under the store lock inside the
         builder and released in this task's ``finally`` — the thread
         that built (or another worker probing the same cached tree)
-        never leaves a pin behind on failure or cancellation."""
+        never leaves a pin behind on failure or cancellation.
+
+        ``emit(call_index, rows, values)`` overrides the default
+        scatter into the result buffers — the out-of-core path uses it
+        to collect a partition's values for spilling instead."""
         rows = order[starts[p]:starts[p + 1]]
         acquirer = None
         if cache is not None:
@@ -243,10 +247,34 @@ def _evaluate_group(table: Table, spec: WindowSpec,
             for call_index, call in enumerate(calls):
                 values = evaluate_call(call, view)
                 values = _restore_dates(call, table, values)
-                buffers[call_index].scatter(rows, values)
+                if emit is not None:
+                    emit(call_index, rows, values)
+                else:
+                    buffers[call_index].scatter(rows, values)
         finally:
             if acquirer is not None:
                 acquirer.release_all()
+
+    # ------------------------------------------------------------------
+    # out-of-core: partition-at-a-time with completed results on disk
+    # ------------------------------------------------------------------
+    governor = getattr(ctx, "memory", None)
+    spill = getattr(cache, "spill_manager", None) \
+        if cache is not None else None
+    if governor is not None and spill is not None:
+        # Transient working set of this group: the sort permutation
+        # plus one value array per call (the gathered per-partition
+        # inputs are bounded by the same figure).
+        estimated = n * 8 * (len(calls) + 1)
+        if governor.use_out_of_core(estimated):
+            return _evaluate_out_of_core(
+                ctx, governor, spill, evaluate_partition, buffers,
+                order, starts, sizes, len(calls), n)
+
+    # The scheduler decision is only taken for groups that stay in
+    # memory — the out-of-core path above is strictly serial and
+    # records its own "out-of-core" strategy.
+    decision = scheduler.choose(sizes, len(calls))
 
     group_span = tracer.span(
         "window.group", strategy=decision.strategy,
@@ -280,6 +308,156 @@ def _evaluate_group(table: Table, spec: WindowSpec,
                 ctx.checkpoint()
                 evaluate_partition(p, probes)
     return [buffer.finish() for buffer in buffers]
+
+
+def _evaluate_out_of_core(ctx: Any, governor: Any, spill: Any,
+                          evaluate_partition: Any,
+                          buffers: List[_ResultBuffer],
+                          order: np.ndarray, starts: np.ndarray,
+                          sizes: np.ndarray, num_calls: int,
+                          n: int) -> List[List[Any]]:
+    """Partition-at-a-time window evaluation with spilled results.
+
+    Each partition is evaluated serially; its computed value arrays are
+    written to a checksummed spill chunk and dropped from memory, so the
+    live footprint stays one partition's inputs + structures instead of
+    the whole table's results. After the last partition, chunks stream
+    back in partition order and scatter into the result buffers — the
+    same positions serial evaluation would write, so output is
+    bit-identical to the in-memory path.
+
+    Degradation ladder: values that aren't numeric ndarrays (strings,
+    dates, NULL-bearing lists) scatter directly in memory; a chunk
+    write that fails after retries falls back to direct scatter and
+    disables spilling for the rest of the group; a chunk that fails
+    reload (checksum, I/O) is re-evaluated from source — evaluation is
+    deterministic, so the result is unchanged."""
+    tracer = ctx.tracer
+    group_span = tracer.span(
+        "window.group", strategy="out-of-core", partitions=len(sizes),
+        rows=n, calls=num_calls) if tracer.enabled else NULL_SPAN
+    with group_span:
+        ctx.telemetry.record_strategy("out-of-core")
+        spilled: List[Tuple[int, str]] = []
+        spilling = True
+        try:
+            return _out_of_core_passes(
+                ctx, governor, spill, evaluate_partition, buffers,
+                order, starts, sizes, num_calls, spilled, spilling)
+        finally:
+            # A timeout/cancellation mid-group must not leak chunks;
+            # discard is idempotent for already-streamed ones.
+            for _p, path in spilled:
+                spill.discard(path)
+
+
+def _out_of_core_passes(ctx: Any, governor: Any, spill: Any,
+                        evaluate_partition: Any,
+                        buffers: List[_ResultBuffer],
+                        order: np.ndarray, starts: np.ndarray,
+                        sizes: np.ndarray, num_calls: int,
+                        spilled: List[Tuple[int, str]],
+                        spilling: bool) -> List[List[Any]]:
+    """The two passes of :func:`_evaluate_out_of_core` (split out so
+    the caller's ``finally`` can see every chunk ever spilled)."""
+    from repro.errors import SpillCorruptionError
+
+    for p in range(len(sizes)):
+        ctx.checkpoint()
+        collected: Dict[int, Any] = {}
+        evaluate_partition(p, SERIAL_PROBES,
+                           emit=lambda ci, _rows, v:
+                           collected.__setitem__(ci, v))
+        rows = order[starts[p]:starts[p + 1]]
+        converted = _chunk_arrays(collected, num_calls) \
+            if spilling else None
+        if converted is None:
+            for ci, values in collected.items():
+                buffers[ci].scatter(rows, values)
+            continue
+        arrays = {"rows": rows}
+        for ci, values in converted.items():
+            arrays[f"v{ci}"] = values
+        try:
+            path, nbytes = spill.spill_chunk(arrays)
+        except OSError:
+            # Writes kept failing: keep the query alive in memory
+            # and stop trying to spill the remaining partitions.
+            ctx.record_fallback(
+                "out-of-core partition spill -> in-memory scatter")
+            spilling = False
+            for ci, values in collected.items():
+                buffers[ci].scatter(rows, values)
+            continue
+        governor.note_partition_spill(nbytes)
+        ctx.telemetry.count_partition_spill(nbytes)
+        spilled.append((p, path))
+
+    # Stream spilled partitions back in partition order.
+    for p, path in spilled:
+        ctx.checkpoint()
+        try:
+            try:
+                arrays = spill.load_chunk(path)
+            except (SpillCorruptionError, OSError):
+                # The chunk is gone; the source data is not.
+                # Re-evaluate this one partition — deterministic,
+                # so the scattered values are identical.
+                ctx.record_corruption()
+                evaluate_partition(p, SERIAL_PROBES)
+                continue
+            governor.note_partition_reload()
+            ctx.telemetry.count_partition_reload()
+            rows = arrays["rows"]
+            for ci in range(num_calls):
+                buffers[ci].scatter(rows, arrays[f"v{ci}"])
+        finally:
+            spill.discard(path)
+    return [buffer.finish() for buffer in buffers]
+
+
+def _chunk_array(values: Any) -> Optional[np.ndarray]:
+    """``values`` as a spillable numeric ndarray, or None.
+
+    Evaluators usually return plain Python lists; a homogeneous
+    all-int or all-float list round-trips through int64/float64
+    losslessly (``tolist`` restores the exact Python values on
+    reload), so those — and numeric ndarrays — are spillable. Anything
+    else (NULLs, strings, dates, mixed types, numpy scalars) scatters
+    directly in memory instead."""
+    if isinstance(values, np.ndarray):
+        return values if values.dtype.kind in "biuf" else None
+    if not isinstance(values, list) or not values:
+        return None
+    kind = None
+    for value in values:
+        # Exact type checks: bool (an int subclass) and numpy scalars
+        # must not slip into a lossy int64/float64 conversion.
+        this = "f" if type(value) is float else \
+            "i" if type(value) is int else None
+        if this is None or (kind is not None and kind != this):
+            return None
+        kind = this
+    dtype = np.float64 if kind == "f" else np.int64
+    try:
+        return np.asarray(values, dtype=dtype)
+    except (OverflowError, ValueError):  # ints beyond int64 range
+        return None
+
+
+def _chunk_arrays(collected: Dict[int, Any],
+                  num_calls: int) -> Optional[Dict[int, np.ndarray]]:
+    """Every call's values as spillable arrays, or None if any is not
+    (a partition spills whole or not at all, keeping reload simple)."""
+    if len(collected) != num_calls:
+        return None
+    converted: Dict[int, np.ndarray] = {}
+    for ci, values in collected.items():
+        arr = _chunk_array(values)
+        if arr is None:
+            return None
+        converted[ci] = arr
+    return converted
 
 
 _DATE_PRESERVING = frozenset(

@@ -180,3 +180,65 @@ def test_close_cleans_spill_files(tmp_path):
     assert len(os.listdir(str(tmp_path))) == 1
     cache.close()
     assert os.listdir(str(tmp_path)) == []
+
+
+# ----------------------------------------------------------------------
+# orphan sweep vs concurrent live sessions sharing one directory
+# ----------------------------------------------------------------------
+def _dead_pid():
+    """A pid guaranteed not to be running: spawn-and-reap a child."""
+    import subprocess
+    import sys
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def test_sweep_skips_live_pids_removes_dead_and_legacy(tmp_path):
+    from repro.cache.spill import sweep_orphans
+    live = tmp_path / f"repro-spill-p{os.getpid()}-deadbeef.npz"
+    dead = tmp_path / f"repro-spill-p{_dead_pid()}-cafe.npz"
+    legacy = tmp_path / "repro-spill-0123456789abcdef.npz"
+    unrelated = tmp_path / "user-data.npz"
+    for path in (live, dead, legacy, unrelated):
+        path.write_bytes(b"x")
+    assert sweep_orphans(str(tmp_path)) == 2
+    assert live.exists()        # owner process (us) is alive
+    assert not dead.exists()    # owner exited: orphan
+    assert not legacy.exists()  # pre-pid-tag name: unclaimable
+    assert unrelated.exists()   # never touch foreign files
+
+
+def test_startup_sweep_spares_concurrent_sessions_files(tmp_path):
+    """Two managers share a spill dir: the second one's startup sweep
+    must not delete the first one's live spill files (both owned by
+    this very-much-alive process), while a dead session's leftovers
+    still get cleaned."""
+    first = SpillManager(str(tmp_path))
+    path, meta = first.spill(_annotated_tree(64, seed=9))
+    stale = tmp_path / f"repro-spill-p{_dead_pid()}-feed.npz"
+    stale.write_bytes(b"x")
+
+    second = SpillManager(str(tmp_path))
+    second.directory  # touching the property runs the startup sweep
+    assert second.orphans_swept == 1
+    assert not stale.exists()
+    assert os.path.exists(path)
+
+    # The first session's entry is fully intact after the sweep.
+    reloaded = first.load(path, meta)
+    original = _annotated_tree(64, seed=9)
+    assert reloaded.count_below(0, 64, 32) == \
+        original.count_below(0, 64, 32)
+
+
+def test_two_sessions_spill_chunks_side_by_side(tmp_path):
+    """Chunk spills from concurrent managers in one directory never
+    collide and reload independently."""
+    a = SpillManager(str(tmp_path))
+    b = SpillManager(str(tmp_path))
+    pa, _ = a.spill_chunk({"rows": np.arange(8), "v0": np.ones(8)})
+    pb, _ = b.spill_chunk({"rows": np.arange(4), "v0": np.zeros(4)})
+    assert pa != pb
+    assert a.load_chunk(pa)["rows"].tolist() == list(range(8))
+    assert b.load_chunk(pb)["v0"].tolist() == [0.0] * 4
