@@ -284,6 +284,20 @@ class CircuitOpenError(ResilienceError):
         self.retry_after = retry_after
 
 
+class WorkerPoolError(ResilienceError):
+    """The supervised process worker pool is broken.
+
+    Raised by :class:`~repro.parallel.procpool.ProcessPool` when its
+    spawn budget is exhausted with no live workers and work still
+    pending (workers keep dying faster than the bounded
+    restart-with-backoff can replace them), or when a closed pool is
+    asked to run. The window operator treats it as a degradation
+    signal — record against the ``worker.pool`` circuit breaker, fall
+    back to the thread executor — not a query failure."""
+
+    code = "WORKER_POOL"
+
+
 class VerificationError(ResilienceError):
     """A structure or result failed self-verification.
 

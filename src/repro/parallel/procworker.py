@@ -1,0 +1,266 @@
+"""Child-process side of the process-based window executor.
+
+:func:`worker_main` is the target of every pool worker: a loop reading
+task messages from a duplex pipe, evaluating whole partitions (or a
+single call of the dominant partition) against zero-copy views of the
+parent's shared-memory columns, and scattering numeric results straight
+into shared output buffers at their precomputed *global* row positions.
+
+Bit-identical output is by construction, not by protocol care: the
+child runs the **same** partition-build and evaluation code as the
+serial path (:func:`repro.window.operator._build_partition` /
+:func:`repro.window.evaluators.evaluate_call`), and results that cannot
+round-trip losslessly through an int64/float64 buffer (NULL-bearing
+lists, strings, dates, exotic dtypes — the
+:func:`repro.window.operator._chunk_array` eligibility test, shared
+with the out-of-core spill path) are pickled back verbatim instead.
+Values that arrived as Python lists are restored to lists before the
+parent scatters them, so the parent-side result buffers see exactly
+the inputs serial evaluation would have produced.
+
+A worker holds the attachments for at most one group at a time; a task
+for a new group closes the previous group's segments first, and an
+``exit`` message (or pipe EOF — the parent died) closes everything.
+
+Deterministic crash testing: when ``REPRO_PROC_CHAOS`` is set to
+``kill:<partition>:<times>:<dir>``, a worker about to evaluate
+partition ``<partition>`` SIGKILLs itself — at most ``<times>`` times
+across all workers, coordinated through O_EXCL marker files in
+``<dir>`` — so the chaos suite can stage "the morsel's worker dies
+mid-query" (once: retried; twice: quarantined) reproducibly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.probes import SERIAL_PROBES
+from repro.parallel.shm import ShmArraySpec, attach_array
+from repro.resilience.context import AMBIENT, activate
+from repro.sortutil import SortColumn
+from repro.window.calls import WindowCall
+from repro.window.frame import WindowSpec
+
+#: Result kinds: shm-scattered ndarray/list (int/float) or pickled.
+KIND_INT_ARRAY = "ia"
+KIND_FLOAT_ARRAY = "fa"
+KIND_INT_LIST = "il"
+KIND_FLOAT_LIST = "fl"
+KIND_OBJECT = "obj"
+
+#: Environment switch for the deterministic worker-kill chaos hook.
+CHAOS_ENV = "REPRO_PROC_CHAOS"
+
+
+@dataclass(frozen=True)
+class ProcGroupJob:
+    """Everything a worker needs to evaluate one window group.
+
+    Columns, the sort permutation and the output buffers travel as
+    :class:`~repro.parallel.shm.ShmArraySpec` handles (zero-copy);
+    the spec, calls and partition offsets are small and pickle with
+    the task message."""
+
+    group_id: str
+    table_rows: int
+    #: column name -> (values spec, validity spec)
+    columns: Dict[str, Tuple[ShmArraySpec, ShmArraySpec]]
+    order: ShmArraySpec
+    starts: np.ndarray
+    spec: WindowSpec
+    calls: Tuple[WindowCall, ...]
+    date_columns: frozenset
+    #: per call: int64 / float64 scatter buffers (length table_rows).
+    out_int: Tuple[ShmArraySpec, ...]
+    out_float: Tuple[ShmArraySpec, ...]
+
+
+@dataclass
+class ProcTask:
+    """One unit of pool work: whole partitions × a call subset.
+
+    Inter-partition morsels carry many partitions and every call;
+    intra-partition fan-out carries the dominant partition and a single
+    call. ``crashes`` counts workers this task has killed — at
+    ``quarantine_after`` the supervisor pulls it from rotation."""
+
+    task_id: int
+    partitions: Tuple[int, ...]
+    call_indices: Tuple[int, ...]
+    crashes: int = field(default=0, compare=False)
+
+
+class _GroupState:
+    """A worker's attachments and rebuilt inputs for one group."""
+
+    def __init__(self, job: ProcGroupJob) -> None:
+        self.group_id = job.group_id
+        self.job = job
+        self._segments = []
+        self.columns: Dict[str, Tuple[Any, np.ndarray]] = {}
+        for name, (values_spec, validity_spec) in job.columns.items():
+            values = self._attach(values_spec)
+            validity = self._attach(validity_spec)
+            self.columns[name] = (values, validity)
+        self.order = self._attach(job.order)
+        self.out_int = [self._attach(spec) for spec in job.out_int]
+        self.out_float = [self._attach(spec) for spec in job.out_float]
+        self.order_columns: List[SortColumn] = []
+        for item in job.spec.order_by:
+            values, validity = self.columns[item.column]
+            self.order_columns.append(SortColumn(
+                values, descending=item.descending,
+                nulls_last=item.resolved_nulls_last(),
+                validity=validity))
+        self.frame = job.spec.effective_frame()
+
+    def _attach(self, spec: ShmArraySpec) -> np.ndarray:
+        array, segment = attach_array(spec)
+        self._segments.append(segment)
+        return array
+
+    def close(self) -> None:
+        self.columns.clear()
+        self.order = None
+        del self.out_int[:], self.out_float[:]
+        self.order_columns = []
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+        del self._segments[:]
+
+
+def _chaos_maybe_kill(partition: int) -> None:
+    """SIGKILL this worker if the chaos schedule says so (see module
+    docstring). O_EXCL marker files make the kill count exact even
+    with several workers racing toward the target partition."""
+    schedule = os.environ.get(CHAOS_ENV)
+    if not schedule:
+        return
+    try:
+        action, target, times, directory = schedule.split(":", 3)
+        target, times = int(target), int(times)
+    except ValueError:
+        return
+    if action != "kill" or partition != target:
+        return
+    for attempt in range(times):
+        marker = os.path.join(directory, f"kill-{attempt}")
+        try:
+            handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return
+        os.close(handle)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_task(state: _GroupState,
+             task: ProcTask) -> List[Tuple[int, int, str, Any]]:
+    """Evaluate one task; returns per (call, partition) result acks.
+
+    Numeric results are scattered into the shared output buffers here
+    (the ack carries only the kind); everything else rides back pickled
+    in the ack payload for the parent to scatter."""
+    from repro.window.evaluators import evaluate_call
+    from repro.window.operator import (
+        _build_partition,
+        _chunk_array,
+        restore_dates,
+    )
+
+    job = state.job
+    starts = job.starts
+    acks: List[Tuple[int, int, str, Any]] = []
+    for p in task.partitions:
+        _chaos_maybe_kill(int(p))
+        rows = state.order[starts[p]:starts[p + 1]]
+        view = _build_partition(
+            state.columns, rows, job.spec, state.frame,
+            state.order_columns, job.table_rows,
+            structures=None, probes=SERIAL_PROBES)
+        for ci in task.call_indices:
+            call = job.calls[ci]
+            values = evaluate_call(call, view)
+            values = restore_dates(call, job.date_columns, values)
+            was_list = not isinstance(values, np.ndarray)
+            converted = _chunk_array(values)
+            if converted is not None and converted.dtype == np.int64:
+                state.out_int[ci][rows] = converted
+                kind = KIND_INT_LIST if was_list else KIND_INT_ARRAY
+                acks.append((ci, int(p), kind, None))
+            elif converted is not None and converted.dtype == np.float64:
+                state.out_float[ci][rows] = converted
+                kind = KIND_FLOAT_LIST if was_list else KIND_FLOAT_ARRAY
+                acks.append((ci, int(p), kind, None))
+            else:
+                acks.append((ci, int(p), KIND_OBJECT, values))
+    return acks
+
+
+def worker_main(conn, worker_index: int, heartbeat) -> None:
+    """Pool worker loop: recv task -> evaluate -> send ack, forever.
+
+    ``heartbeat[worker_index]`` is stamped with ``time.monotonic()``
+    around every task and on every idle poll tick, so the parent can
+    report liveness ages; hang *detection* runs on the parent's
+    pluggable clock against dispatch timestamps, not on these stamps.
+    """
+    state: Optional[_GroupState] = None
+    # A forked worker inherits the spawning query's thread-local
+    # context — deadlines, armed faults, breakers. Workers run under
+    # the ambient context instead: supervision (timeouts, fault
+    # injection, retry policy) is entirely parent-side.
+    with activate(AMBIENT):
+        _worker_loop(conn, worker_index, heartbeat, state)
+
+
+def _worker_loop(conn, worker_index: int, heartbeat,
+                 state: Optional[_GroupState]) -> None:
+    try:
+        while True:
+            heartbeat[worker_index] = time.monotonic()
+            if not conn.poll(0.25):
+                continue
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):  # parent is gone
+                break
+            if message[0] != "task":
+                break
+            _, job, task = message
+            heartbeat[worker_index] = time.monotonic()
+            try:
+                if state is None or state.group_id != job.group_id:
+                    if state is not None:
+                        state.close()
+                    state = _GroupState(job)
+                acks = run_task(state, task)
+                reply = ("ok", task.task_id, acks)
+            except BaseException as exc:
+                # Deterministic failures reproduce on the parent's
+                # serial re-run with their full typed identity; the
+                # summary here is only for the narrative.
+                reply = ("err", task.task_id,
+                         f"{type(exc).__name__}: {exc}")
+            heartbeat[worker_index] = time.monotonic()
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):  # parent is gone
+                break
+    finally:
+        if state is not None:
+            state.close()
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass

@@ -34,6 +34,16 @@ Every morsel task re-activates the submitting query's
 morsels (deadlines and cancellation surface within one morsel) and fires
 the ``parallel.morsel`` fault site; failures are collected fail-fast and
 flattened into one :class:`~repro.errors.ParallelExecutionError`.
+
+**Executor choice** (ROADMAP item 1): the thread pool is GIL-bound, so
+the scheduler also fronts the supervised *process* pool of
+:mod:`repro.parallel.procpool`. ``executor`` resolves argument >
+``REPRO_EXECUTOR`` > ``"thread"``; with ``"process"``, parallel group
+decisions are tagged for the process executor and the window operator
+ships columns through shared memory, degrading per group back to the
+thread pool (and ultimately serial) when shared-memory setup fails or
+the pool breaks. ``"serial"`` pins every group to the serial path
+regardless of ``workers``.
 """
 
 from __future__ import annotations
@@ -81,6 +91,22 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(int(workers), 1)
 
 
+#: Executor kinds a scheduler can run parallel groups on.
+EXECUTORS = ("process", "thread", "serial")
+
+
+def resolve_executor(executor: Optional[str] = None) -> str:
+    """Explicit argument, else ``REPRO_EXECUTOR``, else ``"thread"``.
+
+    Lenient on the environment path (an unknown value falls back to
+    the thread executor — the env var reaches bare ``window_query``
+    calls with no config layer to validate it);
+    :class:`~repro.sql.config.SessionConfig` validates strictly."""
+    if executor is None:
+        executor = (os.environ.get("REPRO_EXECUTOR") or "").strip().lower()
+    return executor if executor in EXECUTORS else "thread"
+
+
 @dataclass
 class GroupDecision:
     """One window group's scheduling outcome (shown by EXPLAIN)."""
@@ -91,12 +117,18 @@ class GroupDecision:
     partitions: int = 0
     rows: int = 0
     reason: str = ""
+    #: which pool runs the group: "thread" or "process". The operator
+    #: may downgrade process -> thread in place when shared-memory
+    #: setup fails or the group is ineligible (non-numeric columns).
+    executor: str = "thread"
     #: inter-partition only: morsel -> partition indices (ascending).
     plan: Optional[List[np.ndarray]] = None
 
     def render(self) -> str:
         text = (f"{self.strategy} workers={self.workers} "
                 f"partitions={self.partitions} rows={self.rows}")
+        if self.strategy != SERIAL:
+            text += f" executor={self.executor}"
         if self.strategy == INTER_PARTITION:
             text += f" morsels={self.morsels}"
         if self.reason:
@@ -109,21 +141,40 @@ class ParallelStats:
     """Scheduler counters plus the most recent group decisions."""
 
     workers: int = 1
+    executor: str = "thread"
     groups: int = 0
     serial_groups: int = 0
     inter_groups: int = 0
     intra_groups: int = 0
     morsels_run: int = 0
+    process_groups: int = 0   # groups that completed on the process pool
+    degraded_groups: int = 0  # process groups downgraded to threads
     pool_started: bool = False
+    #: supervisor + live-worker snapshot when a process pool exists.
+    worker_pool: Optional[dict] = None
+
     decisions: List[GroupDecision] = field(default_factory=list)
 
     def render(self) -> List[str]:
         lines = [
-            f"workers={self.workers} pool_started={self.pool_started} "
+            f"workers={self.workers} executor={self.executor} "
+            f"pool_started={self.pool_started} "
             f"groups={self.groups} (serial={self.serial_groups} "
             f"inter={self.inter_groups} intra={self.intra_groups}) "
             f"morsels_run={self.morsels_run}",
         ]
+        if self.process_groups or self.degraded_groups:
+            lines.append(
+                f"process_groups={self.process_groups} "
+                f"degraded_groups={self.degraded_groups}")
+        pool = self.worker_pool
+        if pool is not None:
+            lines.append(
+                f"worker pool: live={pool['live']} "
+                f"spawned={pool['spawned']} restarts={pool['restarts']} "
+                f"crashes={pool['crashes']} hangs={pool['hangs']} "
+                f"retries={pool['retries']} "
+                f"quarantined={pool['quarantined']}")
         for decision in self.decisions:
             lines.append(f"group: {decision.render()}")
         return lines
@@ -188,8 +239,10 @@ class WindowScheduler:
                  min_intra_rows: int = DEFAULT_MIN_INTRA_ROWS,
                  dominance: float = DEFAULT_DOMINANCE,
                  task_size: int = 20_000,
-                 max_recorded: int = 8) -> None:
+                 max_recorded: int = 8,
+                 executor: Optional[str] = None) -> None:
         self.workers = resolve_workers(workers)
+        self.executor = resolve_executor(executor)
         self.morsels_per_worker = max(int(morsels_per_worker), 1)
         self.min_parallel_ops = float(min_parallel_ops)
         self.min_intra_rows = int(min_intra_rows)
@@ -198,7 +251,12 @@ class WindowScheduler:
         self.max_recorded = max(int(max_recorded), 1)
         self._lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
-        self._stats = ParallelStats(workers=self.workers)
+        self._procpool = None
+        #: One WorkerPoolError marks the pool broken for the session;
+        #: later groups go straight to threads without re-spawning.
+        self._process_broken = False
+        self._stats = ParallelStats(workers=self.workers,
+                                    executor=self.executor)
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -213,11 +271,38 @@ class WindowScheduler:
                 self._stats.pool_started = True
             return self._pool
 
+    def process_pool(self):
+        """The supervised process pool (created on first use).
+
+        Imported lazily: the operator imports this module, and the
+        process pool's worker side imports the operator — deferring
+        the import keeps startup cheap and the cycle harmless."""
+        with self._lock:
+            if self._procpool is None:
+                from repro.parallel.procpool import ProcessPool
+                self._procpool = ProcessPool(self.workers)
+                self._stats.pool_started = True
+            return self._procpool
+
+    def mark_process_broken(self) -> None:
+        """Stop routing groups to the process pool for this session."""
+        with self._lock:
+            self._process_broken = True
+
+    @property
+    def process_enabled(self) -> bool:
+        with self._lock:
+            return (self.executor == "process"
+                    and not self._process_broken)
+
     def close(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
+            procpool, self._procpool = self._procpool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if procpool is not None:
+            procpool.close()
 
     def __enter__(self) -> "WindowScheduler":
         return self
@@ -237,6 +322,10 @@ class WindowScheduler:
             return self._record(GroupDecision(
                 SERIAL, workers=1, partitions=partitions, rows=rows,
                 reason="workers=1"))
+        if self.executor == SERIAL:
+            return self._record(GroupDecision(
+                SERIAL, workers=self.workers, partitions=partitions,
+                rows=rows, reason="executor=serial"))
         ops = estimated_group_ops(sizes, n_calls)
         if ops < self.min_parallel_ops:
             return self._record(GroupDecision(
@@ -257,12 +346,17 @@ class WindowScheduler:
             return self._record(GroupDecision(
                 INTRA_PARTITION, workers=self.workers, morsels=morsels,
                 partitions=partitions, rows=rows,
+                executor=self._parallel_executor(),
                 reason=f"largest partition holds "
                        f"{largest * 100 // max(rows, 1)}% of rows"))
         plan = bin_pack(sizes, self.workers * self.morsels_per_worker)
         return self._record(GroupDecision(
             INTER_PARTITION, workers=self.workers, morsels=len(plan),
-            partitions=partitions, rows=rows, plan=plan))
+            partitions=partitions, rows=rows,
+            executor=self._parallel_executor(), plan=plan))
+
+    def _parallel_executor(self) -> str:
+        return "process" if self.process_enabled else "thread"
 
     def _intra_task_size(self, rows: int) -> int:
         """Probe task size that gives every worker a few morsels even
@@ -313,6 +407,36 @@ class WindowScheduler:
         with self._lock:
             self._stats.morsels_run += count
 
+    def run_process_tasks(self, job, tasks):
+        """Run one group's tasks on the supervised process pool.
+
+        Thin accounting wrapper over
+        :meth:`repro.parallel.procpool.ProcessPool.run_group` (the
+        operator builds the shared-memory job; this layer only owns
+        pool lifecycle and counters). Returns ``(acks, lost_tasks)``.
+        """
+        ctx = current_context()
+        tracer = ctx.tracer
+        pool = self.process_pool()
+        if tracer.enabled:
+            with tracer.span("worker.pool", tasks=len(tasks),
+                             workers=self.workers):
+                result = pool.run_group(job, tasks)
+        else:
+            result = pool.run_group(job, tasks)
+        ctx.telemetry.add_morsels(len(tasks))
+        with self._lock:
+            self._stats.morsels_run += len(tasks)
+        return result
+
+    def note_process_group(self) -> None:
+        with self._lock:
+            self._stats.process_groups += 1
+
+    def note_degraded_group(self) -> None:
+        with self._lock:
+            self._stats.degraded_groups += 1
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -330,18 +454,45 @@ class WindowScheduler:
             del self._stats.decisions[:-self.max_recorded]
         return decision
 
+    def worker_stats(self) -> dict:
+        """Worker-pool state for ``/v1/healthz`` and the metrics
+        exposition: executor/worker configuration, shared-memory bytes
+        currently held by this process, and — once a process pool
+        exists — supervisor counters and live-worker details."""
+        from repro.parallel.shm import current_shm_bytes
+
+        with self._lock:
+            procpool = self._procpool
+            broken = self._process_broken
+        stats = {
+            "executor": self.executor,
+            "workers": self.workers,
+            "process_broken": broken,
+            "shm_bytes": current_shm_bytes(),
+        }
+        if procpool is not None:
+            stats.update(procpool.stats())
+        return stats
+
     def stats(self) -> ParallelStats:
         """A snapshot of the counters and recent decisions."""
         with self._lock:
-            return ParallelStats(
+            procpool = self._procpool
+            snapshot = ParallelStats(
                 workers=self.workers,
+                executor=self.executor,
                 groups=self._stats.groups,
                 serial_groups=self._stats.serial_groups,
                 inter_groups=self._stats.inter_groups,
                 intra_groups=self._stats.intra_groups,
                 morsels_run=self._stats.morsels_run,
+                process_groups=self._stats.process_groups,
+                degraded_groups=self._stats.degraded_groups,
                 pool_started=self._stats.pool_started,
                 decisions=list(self._stats.decisions))
+        if procpool is not None:
+            snapshot.worker_pool = procpool.stats()
+        return snapshot
 
 
 #: Process-wide default scheduler, sized by ``REPRO_WORKERS`` at first

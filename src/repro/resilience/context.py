@@ -123,6 +123,10 @@ class HealthCounters:
     breaker_short_circuits: int = 0  # calls rejected by an open breaker
     verifications: int = 0          # structural + shadow checks run
     verification_failures: int = 0  # checks that found divergence
+    worker_crashes: int = 0         # pool workers that died or hung
+    worker_restarts: int = 0        # pool workers respawned
+    morsel_retries: int = 0         # morsels re-queued after a crash
+    morsels_quarantined: int = 0    # morsels handed to the degraded path
     downgrades: List[str] = field(default_factory=list)
 
     def merge(self, other: "HealthCounters") -> None:
@@ -140,6 +144,10 @@ class HealthCounters:
         self.breaker_short_circuits += other.breaker_short_circuits
         self.verifications += other.verifications
         self.verification_failures += other.verification_failures
+        self.worker_crashes += other.worker_crashes
+        self.worker_restarts += other.worker_restarts
+        self.morsel_retries += other.morsel_retries
+        self.morsels_quarantined += other.morsels_quarantined
         for entry in other.downgrades:
             if entry not in self.downgrades:
                 self.downgrades.append(entry)
@@ -156,7 +164,9 @@ class HealthCounters:
                     or self.fallbacks or self.faults or self.corruptions
                     or self.limit_hits or self.shed or self.breaker_trips
                     or self.breaker_short_circuits
-                    or self.verification_failures)
+                    or self.verification_failures
+                    or self.worker_crashes or self.morsel_retries
+                    or self.morsels_quarantined)
 
     def render(self) -> List[str]:
         """Human-readable lines for ``EXPLAIN`` / session stats."""
@@ -178,6 +188,13 @@ class HealthCounters:
             lines.append(
                 f"verifications={self.verifications} "
                 f"verification_failures={self.verification_failures}")
+        if self.worker_crashes or self.worker_restarts \
+                or self.morsel_retries or self.morsels_quarantined:
+            lines.append(
+                f"worker_crashes={self.worker_crashes} "
+                f"worker_restarts={self.worker_restarts} "
+                f"morsel_retries={self.morsel_retries} "
+                f"morsels_quarantined={self.morsels_quarantined}")
         for entry in self.downgrades:
             lines.append(f"fallback: {entry}")
         return lines

@@ -36,7 +36,18 @@ Sites currently wired into the engine:
   partition result chunk
   (:meth:`repro.cache.spill.SpillManager.spill_chunk`);
 * ``partition.reload`` — once per read attempt of a spilled partition
-  chunk (:meth:`repro.cache.spill.SpillManager.load_chunk`).
+  chunk (:meth:`repro.cache.spill.SpillManager.load_chunk`);
+* ``worker.spawn``   — before every process-pool worker spawn attempt
+  (:class:`~repro.parallel.procpool.ProcessPool`), so restart budgets
+  and the pool-broken degradation can be exercised deterministically;
+* ``worker.heartbeat`` — on every watchdog liveness check of a busy
+  pool worker; an injected fault is treated as a dead heartbeat (the
+  worker is killed and its task retried);
+* ``worker.retry``   — before a morsel lost to a worker crash is
+  re-queued; an injected fault quarantines the morsel instead;
+* ``shm.attach``     — before every shared-memory segment creation in
+  :class:`~repro.parallel.shm.ShmArena`, so shared-memory setup can be
+  failed like a full ``/dev/shm``.
 
 The injector is carried by the active
 :class:`~repro.resilience.context.ExecutionContext`; code under test
@@ -59,7 +70,7 @@ from typing import Callable, Dict, List, Optional
 
 
 def _default_exception(site: str) -> Exception:
-    if site.startswith(("spill.", "partition.")):
+    if site.startswith(("spill.", "partition.", "shm.")):
         return OSError(f"injected I/O fault at {site!r}")
     return RuntimeError(f"injected fault at {site!r}")
 
@@ -155,6 +166,7 @@ _KNOWN_SITES = frozenset({
     "parallel.worker", "parallel.morsel", "cache.evict",
     "cache.reload", "gateway.admit", "circuit.probe",
     "memory.reserve", "partition.spill", "partition.reload",
+    "worker.spawn", "worker.heartbeat", "worker.retry", "shm.attach",
 })
 
 
@@ -172,4 +184,6 @@ def sites() -> List[str]:
     return ["spill.write", "spill.read", "structure.build",
             "parallel.worker", "parallel.morsel", "cache.evict",
             "cache.reload", "gateway.admit", "circuit.probe",
-            "memory.reserve", "partition.spill", "partition.reload"]
+            "memory.reserve", "partition.spill", "partition.reload",
+            "worker.spawn", "worker.heartbeat", "worker.retry",
+            "shm.attach"]

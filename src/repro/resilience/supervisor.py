@@ -1,0 +1,159 @@
+"""Supervision policy and bookkeeping for the process worker pool.
+
+Child processes fail in ways threads cannot: SIGKILL (the OOM killer),
+segfaults in native code, silent hangs. The
+:class:`~repro.parallel.procpool.ProcessPool` delegates every such
+decision to a :class:`WorkerSupervisor`, which implements the
+degradation ladder of Graefe-style robust operators:
+
+* **bounded restart with backoff** — a crashed or hung worker is
+  respawned while the spawn budget lasts; consecutive spawn failures
+  back off exponentially on the pluggable clock (a simulated clock
+  completes the sleeps instantly under test);
+* **at-most-N morsel retry** — a task lost to a worker crash is
+  re-dispatched once; a task that kills ``quarantine_after`` workers is
+  *quarantined* (it is the likely murder weapon) and handed back to the
+  caller for the degraded in-thread path;
+* **give-up signal** — when the spawn budget is exhausted and no
+  workers are left, the pool raises a typed
+  :class:`~repro.errors.WorkerPoolError`; the window operator answers
+  by degrading the whole group process-pool → thread-pool → serial
+  through the session's ``worker.pool`` circuit breaker.
+
+The supervisor is engine-agnostic (it never touches a ``Process``), so
+its policy is unit-testable without spawning anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Tunables for one pool's supervision (see module docstring)."""
+
+    #: Respawns allowed beyond the initial worker set; exhausted budget
+    #: plus zero live workers = the pool is declared broken.
+    max_restarts: int = 8
+    #: Initial backoff after a failed spawn; doubles per consecutive
+    #: failure, capped at ``max_backoff``. Slept on the active context's
+    #: pluggable clock.
+    backoff: float = 0.05
+    max_backoff: float = 1.0
+    #: A task that has crashed this many workers is quarantined.
+    quarantine_after: int = 2
+    #: Wall-clock seconds (on the supervising context's clock) a
+    #: dispatched task may run before the watchdog declares the worker
+    #: hung and kills it. None disables hang detection.
+    task_timeout: Optional[float] = 120.0
+
+
+@dataclass
+class SupervisorStats:
+    """A consistent snapshot of one supervisor's counters."""
+
+    workers: int = 0
+    spawned: int = 0
+    spawn_failures: int = 0
+    restarts: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    aborts: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @property
+    def eventful(self) -> bool:
+        return bool(self.crashes or self.hangs or self.retries
+                    or self.quarantined or self.spawn_failures)
+
+    def render(self) -> List[str]:
+        lines = [f"workers={self.workers} spawned={self.spawned} "
+                 f"restarts={self.restarts}"]
+        if self.eventful:
+            lines.append(
+                f"crashes={self.crashes} hangs={self.hangs} "
+                f"retries={self.retries} quarantined={self.quarantined} "
+                f"spawn_failures={self.spawn_failures}")
+        return lines
+
+
+class WorkerSupervisor:
+    """Counters + restart/retry/quarantine policy for one pool."""
+
+    def __init__(self, workers: int,
+                 policy: Optional[SupervisorPolicy] = None) -> None:
+        self.workers = max(int(workers), 1)
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self._lock = threading.Lock()
+        self._stats = SupervisorStats(workers=self.workers)
+        self._consecutive_spawn_failures = 0
+
+    # ------------------------------------------------------------------
+    # spawn budget and backoff
+    # ------------------------------------------------------------------
+    def allow_spawn(self) -> bool:
+        """Whether the restart budget permits another spawn attempt."""
+        with self._lock:
+            budget = self.workers + self.policy.max_restarts
+            return (self._stats.spawned
+                    + self._stats.spawn_failures) < budget
+
+    def spawn_delay(self) -> float:
+        """Backoff before the next spawn attempt (0 while healthy)."""
+        with self._lock:
+            failures = self._consecutive_spawn_failures
+        if failures <= 0:
+            return 0.0
+        return min(self.policy.backoff * (2 ** (failures - 1)),
+                   self.policy.max_backoff)
+
+    def note_spawned(self, initial: bool) -> None:
+        with self._lock:
+            self._stats.spawned += 1
+            if not initial:
+                self._stats.restarts += 1
+            self._consecutive_spawn_failures = 0
+
+    def note_spawn_failed(self) -> None:
+        with self._lock:
+            self._stats.spawn_failures += 1
+            self._consecutive_spawn_failures += 1
+
+    # ------------------------------------------------------------------
+    # crash / hang / retry accounting
+    # ------------------------------------------------------------------
+    def note_crash(self) -> None:
+        with self._lock:
+            self._stats.crashes += 1
+
+    def note_hang(self) -> None:
+        with self._lock:
+            self._stats.hangs += 1
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self._stats.retries += 1
+
+    def note_quarantine(self) -> None:
+        with self._lock:
+            self._stats.quarantined += 1
+
+    def note_abort(self) -> None:
+        """A busy worker was killed because its query aborted — not a
+        crash, not a strike against anything."""
+        with self._lock:
+            self._stats.aborts += 1
+
+    def should_quarantine(self, task_crashes: int) -> bool:
+        return task_crashes >= self.policy.quarantine_after
+
+    def stats(self) -> SupervisorStats:
+        with self._lock:
+            return SupervisorStats(**asdict(self._stats))

@@ -174,6 +174,7 @@ class QueryService:
             "tenants": [t.to_dict() for t in self.tenants.stats()],
             "plan_cache": self.session.plan_cache.stats().to_dict(),
             "memory": self.session.memory.stats().to_dict(),
+            "workers": to_jsonable(self.session.parallel.worker_stats()),
         }
 
     # ------------------------------------------------------------------

@@ -95,7 +95,10 @@ class SessionConfig:
     * breakers: ``breaker_threshold``, ``breaker_reset``;
     * verification: ``verify_rate``, ``verify_seed``;
     * parallelism: ``workers`` (``None`` → ``REPRO_WORKERS``, serial
-      when unset);
+      when unset) and ``executor`` (``"process"`` | ``"thread"`` |
+      ``"serial"``; ``None`` → ``REPRO_EXECUTOR``, thread pool when
+      unset — the process executor runs morsels in supervised child
+      processes over shared-memory columns);
     * testing: ``faults``, ``clock``;
     * observability: ``trace`` (``None`` → ``REPRO_TRACE``), ``metrics``,
       ``trace_max_spans``.
@@ -120,6 +123,7 @@ class SessionConfig:
     verify_seed: int = 0
     verify_reload: bool = True
     workers: Optional[int] = None
+    executor: Optional[str] = None
     trace: Optional[bool] = None
     metrics: bool = True
     trace_max_spans: int = 10_000
@@ -157,6 +161,9 @@ class SessionConfig:
                  f"got {self.verify_rate}")
         _require(self.workers is None or self.workers >= 1,
                  f"workers must be >= 1, got {self.workers}")
+        _require(self.executor in (None, "process", "thread", "serial"),
+                 f"executor must be one of 'process', 'thread', "
+                 f"'serial', got {self.executor!r}")
         _require(self.trace_max_spans >= 1,
                  f"trace_max_spans must be >= 1, "
                  f"got {self.trace_max_spans}")
@@ -173,7 +180,7 @@ class SessionConfig:
         ``REPRO_MAX_QUEUE``, ``REPRO_QUEUE_TIMEOUT``,
         ``REPRO_BREAKER_THRESHOLD``, ``REPRO_BREAKER_RESET``,
         ``REPRO_VERIFY_RATE``, ``REPRO_VERIFY_SEED``, ``REPRO_WORKERS``,
-        ``REPRO_TRACE``, ``REPRO_METRICS``. Unset variables keep their
+        ``REPRO_EXECUTOR``, ``REPRO_TRACE``, ``REPRO_METRICS``. Unset variables keep their
         defaults; explicit ``**overrides`` win over the environment.
         """
         env = os.environ if env is None else env
@@ -198,6 +205,8 @@ class SessionConfig:
         put("verify_rate", _env_float(env, "REPRO_VERIFY_RATE"))
         put("verify_seed", _env_int(env, "REPRO_VERIFY_SEED"))
         put("workers", _env_int(env, "REPRO_WORKERS"))
+        put("executor",
+            (env.get("REPRO_EXECUTOR") or "").strip().lower() or None)
         put("trace", _env_bool(env, "REPRO_TRACE"))
         put("metrics", _env_bool(env, "REPRO_METRICS"))
         values.update(overrides)

@@ -330,7 +330,10 @@ class Session:
     :class:`~repro.parallel.scheduler.WindowScheduler`, so the total
     number of worker threads stays at ``workers`` even with
     ``max_concurrent`` queries in flight — concurrency and parallelism
-    compose without oversubscribing the machine.
+    compose without oversubscribing the machine. ``executor`` selects
+    what backs the scheduler: ``"process"`` (supervised child
+    processes over shared-memory columns — true multicore),
+    ``"thread"`` (the default GIL-bound pool) or ``"serial"``.
 
     Observability: every query can run under a per-query span tracer
     (``SessionConfig.trace`` / ``QueryOptions.trace`` /
@@ -432,7 +435,8 @@ class Session:
         #: One scheduler (and thread pool) per session: every admitted
         #: query shares it, so total worker threads stay bounded at
         #: ``workers`` no matter how large ``max_concurrent`` is.
-        self.parallel = WindowScheduler(workers=config.workers)
+        self.parallel = WindowScheduler(workers=config.workers,
+                                        executor=config.executor)
         self.health = HealthCounters()
         self._health_lock = threading.Lock()
         #: Tracing default for queries that don't override it per call:
@@ -721,6 +725,16 @@ class Session:
         p_groups = m.counter("repro_pool_groups_total",
                              "Window groups scheduled, by strategy.",
                              ["strategy"])
+        w_live = m.gauge("repro_worker_live",
+                         "Live process-pool workers.")
+        w_shm = m.gauge("repro_worker_shm_bytes",
+                        "Shared-memory bytes held for worker columns.")
+        w_events = m.counter(
+            "repro_worker_events_total",
+            "Process-pool supervision events, by kind.", ["kind"])
+        w_groups = m.counter(
+            "repro_worker_groups_total",
+            "Parallel groups by executor outcome.", ["outcome"])
         breaker_states = {"closed": 0, "open": 1, "half-open": 2}
 
         def collect() -> None:
@@ -775,6 +789,14 @@ class Session:
                                strategy="inter-partition")
             p_groups.set_total(ps.intra_groups,
                                strategy="intra-partition")
+            ws = self.parallel.worker_stats()
+            w_live.set(ws.get("live", 0))
+            w_shm.set(ws.get("shm_bytes", 0))
+            for kind in ("spawned", "restarts", "crashes", "hangs",
+                         "retries", "quarantined", "spawn_failures"):
+                w_events.set_total(ws.get(kind, 0), kind=kind)
+            w_groups.set_total(ps.process_groups, outcome="process")
+            w_groups.set_total(ps.degraded_groups, outcome="degraded")
 
         m.add_collector(collect)
 

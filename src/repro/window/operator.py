@@ -14,26 +14,46 @@ builds once and fans its probe arrays out over the pool
 path. Whatever the strategy, each partition scatters its values into
 precomputed global row positions, so results are bit-identical to
 serial execution regardless of completion order.
+
+When the session's executor is ``"process"`` (ROADMAP item 1), a
+parallel group first attempts the supervised process pool: input
+columns, the sort permutation and per-call scatter buffers are shared
+with child processes through :mod:`repro.parallel.shm`, and workers
+run the same partition-build/evaluate code against zero-copy views.
+The degradation ladder is per group — shared-memory setup failure, an
+open ``worker.pool`` breaker, a non-numeric (process-ineligible)
+column set, or a broken pool each downgrade the group to the thread
+executor in place, and quarantined morsels re-run on the in-thread
+path — so a dying worker fleet costs throughput, never answers.
 """
 
 from __future__ import annotations
 
 import datetime
+import itertools
+import os
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import FrameError, WindowFunctionError
+from repro.errors import (
+    CircuitOpenError,
+    FrameError,
+    WindowFunctionError,
+    WorkerPoolError,
+)
 from repro.obs import NULL_SPAN
 from repro.parallel.probes import SERIAL_PROBES, ProbeKernels
 from repro.parallel.scheduler import (
     INTER_PARTITION,
     INTRA_PARTITION,
     WindowScheduler,
+    bin_pack,
     default_scheduler,
 )
 from repro.resilience.context import current_context
+from repro.resilience.guard import breaker_allow, breaker_failure
 from repro.sortutil import SortColumn, sorted_equal_runs, stable_argsort
 from repro.table.column import Column, DataType
 from repro.table.schema import Field, Schema
@@ -222,6 +242,7 @@ def _evaluate_group(table: Table, spec: WindowSpec,
     scheduler = parallel if parallel is not None else default_scheduler()
 
     buffers = [_ResultBuffer(n) for _ in calls]
+    date_columns = date_column_names(table)
 
     def evaluate_partition(p: int, probes: ProbeKernels,
                            emit=None) -> None:
@@ -241,12 +262,12 @@ def _evaluate_group(table: Table, spec: WindowSpec,
             from repro.cache.store import StructureAcquirer
             acquirer = StructureAcquirer(cache, group_key + (p,))
         view = _build_partition(all_column_data, rows, spec, frame,
-                                order_columns, table, structures=acquirer,
-                                probes=probes)
+                                order_columns, table.num_rows,
+                                structures=acquirer, probes=probes)
         try:
             for call_index, call in enumerate(calls):
                 values = evaluate_call(call, view)
-                values = _restore_dates(call, table, values)
+                values = restore_dates(call, date_columns, values)
                 if emit is not None:
                     emit(call_index, rows, values)
                 else:
@@ -278,9 +299,18 @@ def _evaluate_group(table: Table, spec: WindowSpec,
 
     group_span = tracer.span(
         "window.group", strategy=decision.strategy,
+        executor=decision.executor,
         partitions=len(sizes), rows=n, calls=len(calls),
         morsels=decision.morsels) if tracer.enabled else NULL_SPAN
     with group_span:
+        if decision.executor == "process":
+            if _run_group_process(
+                    ctx, scheduler, decision, spec, calls,
+                    all_column_data, order, starts, sizes, buffers,
+                    date_columns, evaluate_partition, n):
+                return [buffer.finish() for buffer in buffers]
+            # The helper downgraded decision.executor in place; the
+            # group continues on the thread/serial machinery below.
         if decision.strategy == INTER_PARTITION:
             plan = decision.plan
 
@@ -308,6 +338,201 @@ def _evaluate_group(table: Table, spec: WindowSpec,
                 ctx.checkpoint()
                 evaluate_partition(p, probes)
     return [buffer.finish() for buffer in buffers]
+
+
+# ----------------------------------------------------------------------
+# process executor (shared-memory columns, supervised worker pool)
+# ----------------------------------------------------------------------
+#: Deterministic group ids for worker-side state caching.
+_GROUP_SEQ = itertools.count()
+
+
+def _process_needed_columns(spec: WindowSpec,
+                            calls: Sequence[WindowCall],
+                            all_column_data: Dict[str, Any]) -> set:
+    """Columns a worker must see to evaluate this group: the window
+    ORDER BY keys (peer groups / RANGE keys) plus everything any call
+    references. PARTITION BY columns are not needed — partition
+    boundaries ship precomputed."""
+    needed = {item.column for item in spec.order_by}
+    for call in calls:
+        needed.update(a for a in call.args if isinstance(a, str))
+        if call.filter_where:
+            needed.add(call.filter_where)
+        needed.update(item.column for item in call.order_by)
+    return needed & set(all_column_data)
+
+
+def _process_eligible(spec: WindowSpec, calls: Sequence[WindowCall],
+                      all_column_data: Dict[str, Any]) -> bool:
+    """Whether this group can ship through shared memory: every needed
+    column numpy-numeric (strings/objects don't map into segments) and
+    no UDAF calls (arbitrary callables may not survive pickling)."""
+    if any(call.udaf is not None for call in calls):
+        return False
+    for name in _process_needed_columns(spec, calls, all_column_data):
+        values, _validity = all_column_data[name]
+        if not isinstance(values, np.ndarray) \
+                or values.dtype.kind not in "biuf":
+            return False
+    return True
+
+
+def _process_tasks(decision: Any, sizes: np.ndarray,
+                   num_calls: int, scheduler: WindowScheduler) -> list:
+    """The group's work as pool tasks.
+
+    Inter-partition: one task per planned morsel, all calls.
+    Intra-partition: the dominant partition fans out one task per call
+    (each worker builds its own structures — build-once does not cross
+    process boundaries), and the remaining partitions are bin-packed
+    into ordinary morsels."""
+    from repro.parallel.procworker import ProcTask
+
+    all_calls = tuple(range(num_calls))
+    if decision.strategy == INTER_PARTITION:
+        return [ProcTask(m, tuple(int(p) for p in bucket), all_calls)
+                for m, bucket in enumerate(decision.plan)]
+    dominant = int(np.argmax(sizes))
+    tasks = [ProcTask(ci, (dominant,), (ci,)) for ci in range(num_calls)]
+    rest = np.delete(np.arange(len(sizes), dtype=np.int64), dominant)
+    if rest.size:
+        plan = bin_pack(sizes[rest],
+                        scheduler.workers * scheduler.morsels_per_worker)
+        for bucket in plan:
+            tasks.append(ProcTask(
+                len(tasks), tuple(int(rest[i]) for i in bucket),
+                all_calls))
+    return tasks
+
+
+def _run_group_process(ctx: Any, scheduler: WindowScheduler,
+                       decision: Any, spec: WindowSpec,
+                       calls: Sequence[WindowCall],
+                       all_column_data: Dict[str, Any],
+                       order: np.ndarray, starts: np.ndarray,
+                       sizes: np.ndarray, buffers: List[_ResultBuffer],
+                       date_columns: frozenset,
+                       evaluate_partition: Any, n: int) -> bool:
+    """Try to run one parallel group on the supervised process pool.
+
+    Returns True when the group's buffers are fully scattered (the
+    caller finishes them); False after downgrading
+    ``decision.executor`` to ``"thread"`` in place, leaving the buffers
+    untouched for the thread/serial machinery. Quarantined or
+    child-errored morsels re-run here on the in-thread degraded path —
+    a partial pool failure never downgrades the already-acked work."""
+    from repro.parallel.procworker import (
+        KIND_FLOAT_ARRAY,
+        KIND_FLOAT_LIST,
+        KIND_INT_ARRAY,
+        KIND_INT_LIST,
+        ProcGroupJob,
+    )
+    from repro.parallel.shm import ShmArena
+
+    def downgrade(reason: str, fallback: bool = True) -> bool:
+        if fallback:
+            ctx.record_fallback(reason)
+        decision.executor = "thread"
+        decision.reason = (f"{decision.reason}; {reason}"
+                           if decision.reason else reason)
+        scheduler.note_degraded_group()
+        return False
+
+    breaker = ctx.breaker("worker.pool")
+    try:
+        breaker_allow(ctx, breaker)
+    except CircuitOpenError:
+        return downgrade("worker.pool breaker open -> thread executor")
+
+    if not _process_eligible(spec, calls, all_column_data):
+        # Static ineligibility is routine (any string column), not a
+        # degradation event: skip the fallback health counter.
+        return downgrade("process-ineligible columns -> thread executor",
+                         fallback=False)
+
+    arena = ShmArena(governor=getattr(ctx, "memory", None))
+    try:
+        columns = {}
+        for name in sorted(_process_needed_columns(
+                spec, calls, all_column_data)):
+            values, validity = all_column_data[name]
+            columns[name] = (arena.share(values), arena.share(validity))
+        job = ProcGroupJob(
+            group_id=f"p{os.getpid()}-g{next(_GROUP_SEQ)}",
+            table_rows=n,
+            columns=columns,
+            order=arena.share(order),
+            starts=np.asarray(starts, dtype=np.int64),
+            spec=spec,
+            calls=tuple(calls),
+            date_columns=date_columns,
+            out_int=tuple(arena.create((n,), np.int64) for _ in calls),
+            out_float=tuple(arena.create((n,), np.float64)
+                            for _ in calls))
+    except OSError:
+        arena.close()
+        breaker_failure(ctx, breaker)
+        return downgrade(
+            "shared-memory setup failed -> thread executor")
+
+    tasks = _process_tasks(decision, sizes, len(calls), scheduler)
+    try:
+        acks, lost = scheduler.run_process_tasks(job, tasks)
+    except WorkerPoolError:
+        breaker_failure(ctx, breaker)
+        scheduler.mark_process_broken()
+        arena.close()
+        return downgrade("process pool broken -> thread executor")
+    except BaseException:
+        arena.close()
+        raise
+
+    try:
+        # Replay acks per call in ascending partition order — for each
+        # buffer this is exactly the serial scatter sequence, so the
+        # array/list representation evolves identically.
+        int_views = [arena.view(s) for s in job.out_int]
+        float_views = [arena.view(s) for s in job.out_float]
+        for ci, p, kind, payload in sorted(
+                acks, key=lambda ack: (ack[0], ack[1])):
+            rows = order[starts[p]:starts[p + 1]]
+            if kind == KIND_INT_ARRAY:
+                values = int_views[ci][rows]
+            elif kind == KIND_FLOAT_ARRAY:
+                values = float_views[ci][rows]
+            elif kind == KIND_INT_LIST:
+                # List-origin results go back to lists so the buffer
+                # sees the exact inputs serial evaluation produced.
+                values = int_views[ci][rows].tolist()
+            elif kind == KIND_FLOAT_LIST:
+                values = float_views[ci][rows].tolist()
+            else:
+                values = payload
+            buffers[ci].scatter(rows, values)
+    finally:
+        arena.close()
+
+    # Quarantined (or child-errored) morsels: the degraded in-thread
+    # path, same code as serial execution. A deterministic evaluation
+    # error re-raises here with its full typed identity.
+    for task in lost:
+        wanted = frozenset(task.call_indices)
+
+        def emit(ci: int, rows: np.ndarray, values: Any,
+                 _wanted: frozenset = wanted) -> None:
+            if ci in _wanted:
+                buffers[ci].scatter(rows, values)
+
+        for p in task.partitions:
+            ctx.checkpoint()
+            evaluate_partition(int(p), SERIAL_PROBES, emit=emit)
+
+    if breaker is not None:
+        breaker.record_success()
+    scheduler.note_process_group()
+    return True
 
 
 def _evaluate_out_of_core(ctx: Any, governor: Any, spill: Any,
@@ -465,19 +690,26 @@ _DATE_PRESERVING = frozenset(
      "percentile_disc", "mode"})
 
 
-def _restore_dates(call: WindowCall, table: Table,
-                   values: List[Any]) -> List[Any]:
+def date_column_names(table: Table) -> frozenset:
+    """The DATE-typed column names — precomputed so worker processes
+    can restore dates without shipping the schema."""
+    return frozenset(name for name in table.schema.names()
+                     if table.schema.field(name).dtype is DataType.DATE)
+
+
+def restore_dates(call: WindowCall, date_columns: frozenset,
+                  values: List[Any]) -> List[Any]:
     """Evaluators see DATE columns as day numbers (Section 5.1); convert
     selected day numbers back to dates for date-preserving functions."""
     if call.function not in _DATE_PRESERVING or not call.args:
         return values
-    if call.args[0] not in table.schema:
-        return values
-    if table.schema.field(call.args[0]).dtype is not DataType.DATE:
+    if call.args[0] not in date_columns:
         return values
     return [None if v is None
             else datetime.date(1970, 1, 1) + datetime.timedelta(days=int(v))
             for v in values]
+
+
 
 
 def _column_data(table: Table, name: str) -> Tuple[Any, np.ndarray]:
@@ -494,7 +726,7 @@ def _gather(values: Any, rows: np.ndarray) -> Any:
 def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
                      rows: np.ndarray, spec: WindowSpec, frame: FrameSpec,
                      order_columns: List[SortColumn],
-                     table: Table, structures: Any = None,
+                     table_rows: int, structures: Any = None,
                      probes: ProbeKernels = SERIAL_PROBES) -> PartitionView:
     local_n = len(rows)
     columns: Dict[str, Tuple[Any, np.ndarray]] = {}
@@ -518,7 +750,7 @@ def _build_partition(all_column_data: Dict[str, Tuple[Any, np.ndarray]],
     if frame.mode is FrameMode.RANGE:
         range_keys = _range_keys(spec, local_order_cols, local_n)
 
-    local_frame = _localize_offsets(frame, rows, table.num_rows)
+    local_frame = _localize_offsets(frame, rows, table_rows)
     start, end = resolve_bounds(local_frame, local_n, range_keys=range_keys,
                                 peers=peers)
     pieces = exclusion_ranges(start, end, frame.exclusion, peers)

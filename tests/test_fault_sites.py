@@ -54,6 +54,12 @@ def test_known_sites_are_sorted_and_nonempty():
     assert "memory.reserve" in sites
     assert "partition.spill" in sites
     assert "partition.reload" in sites
+    # The process-pool supervision sites (chaos hooks for the worker
+    # crash/retry/degrade ladder).
+    assert "worker.spawn" in sites
+    assert "worker.heartbeat" in sites
+    assert "worker.retry" in sites
+    assert "shm.attach" in sites
 
 
 def test_plan_rejects_unknown_site():

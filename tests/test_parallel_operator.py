@@ -164,7 +164,10 @@ def test_parallel_with_cache_matches_and_unpins(tmp_path):
                       frame=FrameSpec.rows(preceding(6), current_row()))
     want = run(table, spec)
     with StructureCache(spill_dir=str(tmp_path)) as cache:
-        with forced(4) as scheduler:
+        # Pinned to the thread executor: cache hit/pin accounting is a
+        # thread-path property (process workers build structures fresh
+        # in-child and never touch the parent's cache).
+        with forced(4, executor="thread") as scheduler:
             assert run(table, spec, scheduler=scheduler, cache=cache) == want
             # Warm second run: same answer from cached structures.
             assert run(table, spec, scheduler=scheduler, cache=cache) == want

@@ -193,6 +193,10 @@ class TestOps:
         assert "repro_http_requests_total" in text
         assert "repro_plan_cache_hits_total" in text
         assert "repro_tenant_admitted_total" in text
+        # Worker-pool gauges export even while the executor is the
+        # default thread pool (live=0, nothing spawned).
+        assert "repro_worker_live" in text
+        assert "repro_worker_shm_bytes" in text
 
     def test_healthz(self, server):
         status, out = _json(server, "GET", "/v1/healthz")
@@ -203,6 +207,12 @@ class TestOps:
         assert out["plan_cache"]["budget_bytes"] > 0
         tenants = {t["tenant"] for t in out["tenants"]}
         assert "anonymous" in tenants
+        # Worker-pool state rides along (satellite: operators see the
+        # executor, crash counters and shm footprint from /v1/healthz).
+        workers = out["workers"]
+        assert workers["executor"] in ("process", "thread", "serial")
+        assert workers["process_broken"] is False
+        assert workers["shm_bytes"] == 0
 
     def test_keep_alive_reuses_connection(self, server):
         conn = HTTPConnection("127.0.0.1", server.port, timeout=30)

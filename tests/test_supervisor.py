@@ -1,0 +1,88 @@
+"""Unit tests for the process-pool supervision policy.
+
+The :class:`~repro.resilience.supervisor.WorkerSupervisor` is pure
+bookkeeping — no processes — so the restart budget, exponential
+backoff, and quarantine threshold are pinned down here without ever
+forking.
+"""
+
+from repro.resilience.supervisor import (
+    SupervisorPolicy,
+    SupervisorStats,
+    WorkerSupervisor,
+)
+
+
+def test_spawn_budget_is_workers_plus_max_restarts():
+    supervisor = WorkerSupervisor(
+        2, SupervisorPolicy(max_restarts=3))
+    for i in range(5):  # budget = 2 workers + 3 restarts
+        assert supervisor.allow_spawn(), i
+        supervisor.note_spawned(initial=i < 2)
+    assert not supervisor.allow_spawn()
+    stats = supervisor.stats()
+    assert stats.spawned == 5
+    assert stats.restarts == 3
+
+
+def test_spawn_failures_consume_the_budget_too():
+    supervisor = WorkerSupervisor(
+        1, SupervisorPolicy(max_restarts=2))
+    supervisor.note_spawned(initial=True)
+    supervisor.note_spawn_failed()
+    supervisor.note_spawn_failed()
+    assert not supervisor.allow_spawn()
+    assert supervisor.stats().spawn_failures == 2
+
+
+def test_backoff_doubles_and_caps():
+    policy = SupervisorPolicy(backoff=0.05, max_backoff=0.3)
+    supervisor = WorkerSupervisor(1, policy)
+    assert supervisor.spawn_delay() == 0.0
+    supervisor.note_spawn_failed()
+    assert supervisor.spawn_delay() == 0.05
+    supervisor.note_spawn_failed()
+    assert supervisor.spawn_delay() == 0.10
+    supervisor.note_spawn_failed()
+    assert supervisor.spawn_delay() == 0.20
+    supervisor.note_spawn_failed()
+    assert supervisor.spawn_delay() == 0.30  # capped
+    # A successful spawn heals the streak entirely.
+    supervisor.note_spawned(initial=False)
+    assert supervisor.spawn_delay() == 0.0
+
+
+def test_quarantine_threshold():
+    supervisor = WorkerSupervisor(
+        2, SupervisorPolicy(quarantine_after=2))
+    assert not supervisor.should_quarantine(0)
+    assert not supervisor.should_quarantine(1)
+    assert supervisor.should_quarantine(2)
+    assert supervisor.should_quarantine(3)
+
+
+def test_counters_snapshot_and_render():
+    supervisor = WorkerSupervisor(2)
+    supervisor.note_spawned(initial=True)
+    supervisor.note_crash()
+    supervisor.note_hang()
+    supervisor.note_retry()
+    supervisor.note_quarantine()
+    supervisor.note_abort()
+    stats = supervisor.stats()
+    assert stats.to_dict() == {
+        "workers": 2, "spawned": 1, "spawn_failures": 0, "restarts": 0,
+        "crashes": 1, "hangs": 1, "retries": 1, "quarantined": 1,
+        "aborts": 1}
+    assert stats.eventful
+    rendered = "\n".join(stats.render())
+    assert "crashes=1" in rendered and "quarantined=1" in rendered
+    # Snapshots are copies, not views.
+    stats.crashes = 99
+    assert supervisor.stats().crashes == 1
+
+
+def test_quiet_supervisor_renders_one_line():
+    stats = SupervisorStats(workers=4, spawned=4)
+    assert not stats.eventful
+    assert len(stats.render()) == 1
