@@ -13,11 +13,23 @@ searches.
 Serial is the default (:data:`SERIAL_PROBES`) and is a zero-overhead
 pass-through; :class:`ThreadedProbes` carries the session's shared
 thread pool so probe fan-out never creates executors of its own.
+
+:class:`ProcessProbes` is the multicore variant (ROADMAP item 1's
+probe-fan follow-on): the tree levels are serialized once into the
+session's shared-memory table arena (workers attach and cache them by
+token), the per-row probe arrays travel through transient shm
+segments, and row ranges run on the supervised process pool with the
+same retry/quarantine ladder as inter-partition morsels — a lost range
+is recomputed serially by the parent on exactly its rows, so results
+stay bit-identical. Trees that cannot be shared (object-typed prefix
+aggregates) degrade the group to :class:`ThreadedProbes` with a
+recorded reason, as does a broken worker pool mid-group.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -101,3 +113,215 @@ class ThreadedProbes(ProbeKernels):
         return threaded_batched_aggregate(
             levels, lo, hi, key_hi, kind, workers=self._workers,
             task_size=self._task_size, pool=self._pool)
+
+
+def _shareable_levels(levels: TreeLevels) -> bool:
+    """Whether every level array can live in a plain shm segment."""
+    arrays: List[Any] = list(levels.keys)
+    arrays.extend(levels.bridges)
+    arrays.extend(levels.agg_prefix)
+    for array in arrays:
+        if array is None:
+            continue
+        if not (isinstance(array, np.ndarray)
+                and array.dtype.kind in "biuf"):
+            return False
+    return True
+
+
+class ProcessProbes(ProbeKernels):
+    """Fan per-row probe arrays out over the supervised process pool.
+
+    Created per intra-partition group by
+    :meth:`~repro.parallel.scheduler.WindowScheduler.process_probes`.
+    The operator sets :attr:`partition` before each partition so the
+    chaos hook (and failure narratives) attribute kills correctly, and
+    releases the arena lease after the group. ``fanned`` counts probe
+    batches that actually ran on workers; ``fallback_reason`` /
+    ``broken_reason`` record why later batches stopped fanning (the
+    operator folds them into the group decision's reason)."""
+
+    parallel = True
+
+    def __init__(self, scheduler, lease, task_size: int,
+                 min_rows: int = 8_192, governor=None) -> None:
+        self._scheduler = scheduler
+        self._lease = lease
+        self._task_size = max(int(task_size), 1)
+        self._min_rows = max(int(min_rows), 1)
+        self._governor = governor
+        self._threaded: Optional[ThreadedProbes] = None
+        self._seq = 0
+        self.partition = 0
+        self.fanned = 0
+        self.fallback_reason: Optional[str] = None
+        self.broken_reason: Optional[str] = None
+
+    # -- degradation ---------------------------------------------------
+    def _fallback(self) -> ThreadedProbes:
+        if self._threaded is None:
+            self._threaded = ThreadedProbes(
+                self._scheduler.pool(), self._scheduler.workers,
+                task_size=self._task_size, min_rows=self._min_rows)
+        return self._threaded
+
+    def _note_unshareable(self) -> None:
+        if self.fallback_reason is None:
+            self.fallback_reason = ("tree levels not shm-shareable "
+                                    "(object-typed prefix aggregates)")
+
+    # -- arena plumbing ------------------------------------------------
+    def _levels_handle(self, levels: TreeLevels):
+        """Arena-backed :class:`LevelsHandle` for ``levels``; None when
+        the tree is not shareable. Pins the entry on the group lease."""
+        from repro.parallel.procworker import LevelsHandle
+
+        token = getattr(levels, "_repro_arena_token", None)
+        if token is None:
+            if not _shareable_levels(levels):
+                return None
+            token = uuid.uuid4().hex
+            levels._repro_arena_token = token
+
+        def build():
+            if not _shareable_levels(levels):  # pragma: no cover
+                return None
+            arrays: List[Optional[np.ndarray]] = list(levels.keys)
+            arrays.extend(levels.bridges)
+            arrays.extend(levels.agg_prefix)
+            return arrays
+
+        entry = self._lease.get(("levels", token), build)
+        if entry is None:
+            return None
+        height = len(levels.keys)
+        specs = entry.specs
+        return LevelsHandle(
+            token=token,
+            fanout=levels.fanout,
+            sample_every=levels.sample_every,
+            keys=specs[:height],
+            bridges=specs[height:2 * height],
+            agg_prefix=specs[2 * height:])
+
+    # -- the fan -------------------------------------------------------
+    def _fan(self, levels: TreeLevels, op: str,
+             inputs: Dict[str, np.ndarray], out_dtypes: List[Any],
+             rows: int, agg_kind: Optional[str] = None
+             ) -> Optional[Tuple[np.ndarray, ...]]:
+        """Run one probe batch on the pool; ``None`` means the caller
+        must degrade (pool broke / shm failed / tree unshareable)."""
+        from repro.errors import WorkerPoolError
+        from repro.parallel.procworker import ProcProbeJob, ProcProbeTask
+        from repro.parallel.shm import ShmArena
+
+        arena = ShmArena(governor=self._governor)
+        try:
+            handle = self._levels_handle(levels)
+            if handle is None:
+                self._note_unshareable()
+                return None
+            in_specs = tuple((name, arena.share(array))
+                             for name, array in inputs.items())
+            out_specs = tuple(arena.create((rows,), dtype)
+                              for dtype in out_dtypes)
+            self._seq += 1
+            job = ProcProbeJob(
+                probe_id=f"p{self._seq}-{uuid.uuid4().hex[:8]}",
+                op=op, levels=handle, inputs=in_specs,
+                outputs=out_specs, agg_kind=agg_kind,
+                partition=int(self.partition))
+            tasks = [ProcProbeTask(i, lo, min(lo + self._task_size, rows))
+                     for i, lo in enumerate(
+                         range(0, rows, self._task_size))]
+            _, lost = self._scheduler.run_process_tasks(job, tasks)
+            views = [arena.view(spec) for spec in out_specs]
+            for task in lost:
+                # Quarantined ranges recompute serially on the parent —
+                # same kernels, exactly these rows, bit-identical.
+                self._serial_range(levels, op, inputs, views,
+                                   task.lo, task.hi, agg_kind)
+            self.fanned += 1
+            return tuple(view.copy() for view in views)
+        except WorkerPoolError as exc:
+            self._scheduler.mark_process_broken()
+            self.broken_reason = f"process pool broken ({exc})"
+            return None
+        except OSError as exc:
+            self.broken_reason = f"shared-memory setup failed ({exc})"
+            return None
+        finally:
+            arena.close()
+
+    @staticmethod
+    def _serial_range(levels: TreeLevels, op: str,
+                      inputs: Dict[str, np.ndarray],
+                      views: List[np.ndarray], lo: int, hi: int,
+                      agg_kind: Optional[str]) -> None:
+        sl = slice(lo, hi)
+        if op == "count":
+            key_lo = inputs.get("key_lo")
+            views[0][sl] = batched_count(
+                levels, inputs["lo"][sl], inputs["hi"][sl],
+                inputs["key_hi"][sl],
+                key_lo=None if key_lo is None else key_lo[sl])
+        elif op == "aggregate":
+            views[0][sl] = batched_aggregate(
+                levels, inputs["lo"][sl], inputs["hi"][sl],
+                inputs["key_hi"][sl], agg_kind)
+        else:
+            positions, values = batched_select(
+                levels, inputs["k"][sl], inputs["key_lo"][sl],
+                inputs["key_hi"][sl])
+            views[0][sl] = positions
+            views[1][sl] = values
+
+    # -- kernel interface ----------------------------------------------
+    def count(self, levels: TreeLevels, lo: np.ndarray, hi: np.ndarray,
+              key_hi: np.ndarray,
+              key_lo: Optional[np.ndarray] = None) -> np.ndarray:
+        rows = len(lo)
+        if rows < self._min_rows or self._scheduler.workers <= 1:
+            return batched_count(levels, lo, hi, key_hi, key_lo=key_lo)
+        if self.broken_reason is None:
+            inputs = {"lo": np.asarray(lo), "hi": np.asarray(hi),
+                      "key_hi": np.asarray(key_hi)}
+            if key_lo is not None:
+                inputs["key_lo"] = np.asarray(key_lo)
+            result = self._fan(levels, "count", inputs,
+                               [np.int64], rows)
+            if result is not None:
+                return result[0]
+        return self._fallback().count(levels, lo, hi, key_hi,
+                                      key_lo=key_lo)
+
+    def select(self, levels: TreeLevels, k: np.ndarray,
+               key_lo: np.ndarray, key_hi: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        rows = len(k)
+        if rows < self._min_rows or self._scheduler.workers <= 1:
+            return batched_select(levels, k, key_lo, key_hi)
+        if self.broken_reason is None:
+            inputs = {"k": np.asarray(k), "key_lo": np.asarray(key_lo),
+                      "key_hi": np.asarray(key_hi)}
+            result = self._fan(levels, "select", inputs,
+                               [np.int64, np.int64], rows)
+            if result is not None:
+                return result[0], result[1]
+        return self._fallback().select(levels, k, key_lo, key_hi)
+
+    def aggregate(self, levels: TreeLevels, lo: np.ndarray,
+                  hi: np.ndarray, key_hi: np.ndarray,
+                  kind: str) -> np.ndarray:
+        rows = len(lo)
+        if rows < self._min_rows or self._scheduler.workers <= 1:
+            return batched_aggregate(levels, lo, hi, key_hi, kind)
+        if self.broken_reason is None:
+            out_dtype = np.int64 if kind == "count" else np.float64
+            inputs = {"lo": np.asarray(lo), "hi": np.asarray(hi),
+                      "key_hi": np.asarray(key_hi)}
+            result = self._fan(levels, "aggregate", inputs,
+                               [out_dtype], rows, agg_kind=kind)
+            if result is not None:
+                return result[0]
+        return self._fallback().aggregate(levels, lo, hi, key_hi, kind)

@@ -69,6 +69,9 @@ from repro.resilience.supervisor import (
 #: Environment override for the multiprocessing start method.
 START_ENV = "REPRO_PROC_START"
 
+#: Accepted alias (the CI spawn leg sets this spelling).
+START_ENV_ALIAS = "REPRO_MP_START"
+
 #: Seconds the parent parks in ``connection.wait`` per loop iteration.
 _WAIT_TICK = 0.05
 
@@ -78,12 +81,15 @@ _sweep_lock = threading.Lock()
 
 
 def _resolve_start_method(start_method: Optional[str]) -> str:
-    """Explicit argument > ``REPRO_PROC_START`` > fork where available.
+    """Explicit argument > ``REPRO_PROC_START`` > ``REPRO_MP_START`` >
+    fork where available.
 
     ``fork`` shares the parent's pages (cheap spawn, env inherited);
     platforms without it fall back to ``spawn``."""
     if start_method is None:
-        start_method = (os.environ.get(START_ENV) or "").strip().lower()
+        start_method = (os.environ.get(START_ENV)
+                        or os.environ.get(START_ENV_ALIAS)
+                        or "").strip().lower()
     available = multiprocessing.get_all_start_methods()
     if start_method in available:
         return start_method
@@ -323,7 +329,8 @@ class ProcessPool:
                 continue
             pending.popleft()
             try:
-                worker.conn.send(("task", job, task))
+                worker.conn.send((getattr(job, "kind", "task"), job,
+                                  task))
             except (BrokenPipeError, OSError):
                 # Died while idle: requeue without blaming the task.
                 pending.appendleft(task)

@@ -1,10 +1,26 @@
 """Child-process side of the process-based window executor.
 
 :func:`worker_main` is the target of every pool worker: a loop reading
-task messages from a duplex pipe, evaluating whole partitions (or a
-single call of the dominant partition) against zero-copy views of the
-parent's shared-memory columns, and scattering numeric results straight
-into shared output buffers at their precomputed *global* row positions.
+task messages from a duplex pipe, evaluating whole partitions against
+zero-copy views of the parent's shared-memory columns — or, for an
+intra-partition **probe fan** (``ProcProbeJob``), running row ranges of
+the batched probe kernels against a shared read-only merge sort tree —
+and scattering numeric results straight into shared output buffers at
+their precomputed *global* row positions.
+
+Every input view a worker attaches is marked read-only
+(``ndarray.flags.writeable = False``): the parent's columns and tree
+levels are shared pages, so a buggy kernel mutating its input would
+silently corrupt every sibling worker and the parent — with the flag
+cleared it raises ``ValueError`` instead. Only the designated output
+scatter buffers stay writable.
+
+Probe-fan amortization: the tree levels of a probe job travel as
+arena-segment handles tagged with a stable ``token``; a worker keeps a
+small LRU of attached trees (:data:`_LEVELS_CACHE_MAX`), so the many
+probe batches one window group issues — and repeat queries against the
+same cached structure — attach the levels once per worker, not once
+per batch.
 
 Bit-identical output is by construction, not by protocol care: the
 child runs the **same** partition-build and evaluation code as the
@@ -35,6 +51,7 @@ from __future__ import annotations
 import os
 import signal
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -67,6 +84,9 @@ class ProcGroupJob:
     the spec, calls and partition offsets are small and pickle with
     the task message."""
 
+    #: message discriminator read by the pool dispatcher / worker loop.
+    kind = "task"
+
     group_id: str
     table_rows: int
     #: column name -> (values spec, validity spec)
@@ -96,6 +116,54 @@ class ProcTask:
     crashes: int = field(default=0, compare=False)
 
 
+@dataclass(frozen=True)
+class LevelsHandle:
+    """Picklable handle to one merge sort tree living in shm segments.
+
+    ``token`` is stable for the lifetime of the parent-side arena entry
+    (and changes on re-materialization only with identical content, so
+    a worker's cached attach can never go stale in value)."""
+
+    token: str
+    fanout: int
+    sample_every: int
+    keys: Tuple[ShmArraySpec, ...]
+    bridges: Tuple[Optional[ShmArraySpec], ...]
+    agg_prefix: Tuple[Optional[ShmArraySpec], ...]
+
+
+@dataclass(frozen=True)
+class ProcProbeJob:
+    """One probe batch fanned over row ranges (intra-partition).
+
+    ``op`` selects the batched kernel; ``inputs`` are the per-row probe
+    arrays (each length ``rows``); ``outputs`` are the scatter buffers
+    the kernels' results land in, dtyped exactly as the serial kernels
+    return (int64 counts/selects, float64 non-count aggregates) so the
+    parent reads back bit-identical values."""
+
+    kind = "probe"
+
+    probe_id: str
+    op: str  # "count" | "select" | "aggregate"
+    levels: LevelsHandle
+    inputs: Tuple[Tuple[str, ShmArraySpec], ...]
+    outputs: Tuple[ShmArraySpec, ...]
+    agg_kind: Optional[str] = None
+    #: the partition index being probed — chaos-kill attribution only.
+    partition: int = 0
+
+
+@dataclass
+class ProcProbeTask:
+    """One row range ``[lo, hi)`` of a probe batch."""
+
+    task_id: int
+    lo: int
+    hi: int
+    crashes: int = field(default=0, compare=False)
+
+
 class _GroupState:
     """A worker's attachments and rebuilt inputs for one group."""
 
@@ -109,8 +177,10 @@ class _GroupState:
             validity = self._attach(validity_spec)
             self.columns[name] = (values, validity)
         self.order = self._attach(job.order)
-        self.out_int = [self._attach(spec) for spec in job.out_int]
-        self.out_float = [self._attach(spec) for spec in job.out_float]
+        self.out_int = [self._attach(spec, writable=True)
+                        for spec in job.out_int]
+        self.out_float = [self._attach(spec, writable=True)
+                          for spec in job.out_float]
         self.order_columns: List[SortColumn] = []
         for item in job.spec.order_by:
             values, validity = self.columns[item.column]
@@ -120,8 +190,13 @@ class _GroupState:
                 validity=validity))
         self.frame = job.spec.effective_frame()
 
-    def _attach(self, spec: ShmArraySpec) -> np.ndarray:
+    def _attach(self, spec: ShmArraySpec,
+                writable: bool = False) -> np.ndarray:
         array, segment = attach_array(spec)
+        if not writable:
+            # Inputs are the parent's shared pages; a mutating kernel
+            # must raise here, not corrupt every sibling worker.
+            array.flags.writeable = False
         self._segments.append(segment)
         return array
 
@@ -136,6 +211,123 @@ class _GroupState:
             except Exception:  # pragma: no cover - already closed
                 pass
         del self._segments[:]
+
+
+#: token -> (TreeLevels, [segments]) — per-worker attach-once cache of
+#: shared merge sort trees; bounded, LRU, dies with the worker.
+_LEVELS_CACHE: "OrderedDict[str, Tuple[Any, List[Any]]]" = OrderedDict()
+_LEVELS_CACHE_MAX = 8
+
+
+def _attach_readonly(spec: ShmArraySpec, segments: List[Any]) -> np.ndarray:
+    array, segment = attach_array(spec)
+    array.flags.writeable = False
+    segments.append(segment)
+    return array
+
+
+def _attached_levels(handle: LevelsHandle) -> Any:
+    """The worker's read-only view of a shared tree (cached by token)."""
+    cached = _LEVELS_CACHE.get(handle.token)
+    if cached is not None:
+        _LEVELS_CACHE.move_to_end(handle.token)
+        return cached[0]
+    from repro.mst.build import TreeLevels
+
+    segments: List[Any] = []
+    keys = [_attach_readonly(s, segments) for s in handle.keys]
+    bridges = [None if s is None else _attach_readonly(s, segments)
+               for s in handle.bridges]
+    agg_prefix = [None if s is None else _attach_readonly(s, segments)
+                  for s in handle.agg_prefix]
+    levels = TreeLevels(fanout=handle.fanout,
+                        sample_every=handle.sample_every,
+                        keys=keys, bridges=bridges,
+                        agg_prefix=agg_prefix)
+    _LEVELS_CACHE[handle.token] = (levels, segments)
+    while len(_LEVELS_CACHE) > _LEVELS_CACHE_MAX:
+        _, (_, old_segments) = _LEVELS_CACHE.popitem(last=False)
+        for segment in old_segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+    return levels
+
+
+def _close_levels_cache() -> None:
+    while _LEVELS_CACHE:
+        _, (_, segments) = _LEVELS_CACHE.popitem(last=False)
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+
+
+class _ProbeState:
+    """A worker's attachments for one probe batch (inputs + outputs)."""
+
+    def __init__(self, job: ProcProbeJob) -> None:
+        self.probe_id = job.probe_id
+        self.job = job
+        self._segments: List[Any] = []
+        self.inputs: Dict[str, np.ndarray] = {
+            name: _attach_readonly(spec, self._segments)
+            for name, spec in job.inputs}
+        self.outputs: List[np.ndarray] = []
+        for spec in job.outputs:
+            array, segment = attach_array(spec)
+            self._segments.append(segment)
+            self.outputs.append(array)
+
+    def close(self) -> None:
+        self.inputs.clear()
+        del self.outputs[:]
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+        del self._segments[:]
+
+
+def run_probe_task(state: _ProbeState, task: ProcProbeTask) -> list:
+    """Run one row range of a probe batch against the shared tree.
+
+    Results go straight into the shared output buffers; rows outside
+    ``[task.lo, task.hi)`` are untouched, so ranges compose exactly like
+    the threaded fan — and a retried range deterministically rewrites
+    the same values. The ack payload is empty."""
+    from repro.mst.vectorized import (
+        batched_aggregate,
+        batched_count,
+        batched_select,
+    )
+
+    job = state.job
+    _chaos_maybe_kill(job.partition)
+    sl = slice(task.lo, task.hi)
+    get = state.inputs.get
+    if job.op == "count":
+        key_lo = get("key_lo")
+        state.outputs[0][sl] = batched_count(
+            _attached_levels(job.levels), get("lo")[sl], get("hi")[sl],
+            get("key_hi")[sl],
+            key_lo=None if key_lo is None else key_lo[sl])
+    elif job.op == "aggregate":
+        state.outputs[0][sl] = batched_aggregate(
+            _attached_levels(job.levels), get("lo")[sl], get("hi")[sl],
+            get("key_hi")[sl], job.agg_kind)
+    elif job.op == "select":
+        positions, values = batched_select(
+            _attached_levels(job.levels), get("k")[sl],
+            get("key_lo")[sl], get("key_hi")[sl])
+        state.outputs[0][sl] = positions
+        state.outputs[1][sl] = values
+    else:  # pragma: no cover - parent never sends unknown ops
+        raise ValueError(f"unknown probe op {job.op!r}")
+    return []
 
 
 def _chaos_maybe_kill(partition: int) -> None:
@@ -222,10 +414,12 @@ def worker_main(conn, worker_index: int, heartbeat) -> None:
     # injection, retry policy) is entirely parent-side.
     with activate(AMBIENT):
         _worker_loop(conn, worker_index, heartbeat, state)
+        _close_levels_cache()
 
 
 def _worker_loop(conn, worker_index: int, heartbeat,
                  state: Optional[_GroupState]) -> None:
+    probe_state: Optional[_ProbeState] = None
     try:
         while True:
             heartbeat[worker_index] = time.monotonic()
@@ -235,16 +429,24 @@ def _worker_loop(conn, worker_index: int, heartbeat,
                 message = conn.recv()
             except (EOFError, OSError):  # parent is gone
                 break
-            if message[0] != "task":
+            if message[0] not in ("task", "probe"):
                 break
-            _, job, task = message
+            kind, job, task = message
             heartbeat[worker_index] = time.monotonic()
             try:
-                if state is None or state.group_id != job.group_id:
-                    if state is not None:
-                        state.close()
-                    state = _GroupState(job)
-                acks = run_task(state, task)
+                if kind == "task":
+                    if state is None or state.group_id != job.group_id:
+                        if state is not None:
+                            state.close()
+                        state = _GroupState(job)
+                    acks = run_task(state, task)
+                else:
+                    if (probe_state is None
+                            or probe_state.probe_id != job.probe_id):
+                        if probe_state is not None:
+                            probe_state.close()
+                        probe_state = _ProbeState(job)
+                    acks = run_probe_task(probe_state, task)
                 reply = ("ok", task.task_id, acks)
             except BaseException as exc:
                 # Deterministic failures reproduce on the parent's
@@ -260,6 +462,8 @@ def _worker_loop(conn, worker_index: int, heartbeat,
     finally:
         if state is not None:
             state.close()
+        if probe_state is not None:
+            probe_state.close()
         try:
             conn.close()
         except Exception:  # pragma: no cover

@@ -53,7 +53,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -93,6 +93,20 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 #: Executor kinds a scheduler can run parallel groups on.
 EXECUTORS = ("process", "thread", "serial")
+
+
+def resolve_arena_bytes(arena_bytes: Optional[int] = None
+                        ) -> Optional[int]:
+    """Explicit argument, else ``REPRO_ARENA_BYTES``, else unlimited."""
+    if arena_bytes is not None:
+        return max(int(arena_bytes), 0)
+    raw = (os.environ.get("REPRO_ARENA_BYTES") or "").strip()
+    if not raw:
+        return None
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        return None
 
 
 def resolve_executor(executor: Optional[str] = None) -> str:
@@ -152,6 +166,8 @@ class ParallelStats:
     pool_started: bool = False
     #: supervisor + live-worker snapshot when a process pool exists.
     worker_pool: Optional[dict] = None
+    #: shared-memory table arena snapshot once one exists.
+    arena: Optional[Any] = None  # ArenaStats
 
     decisions: List[GroupDecision] = field(default_factory=list)
 
@@ -175,6 +191,8 @@ class ParallelStats:
                 f"crashes={pool['crashes']} hangs={pool['hangs']} "
                 f"retries={pool['retries']} "
                 f"quarantined={pool['quarantined']}")
+        if self.arena is not None:
+            lines.append(self.arena.render())
         for decision in self.decisions:
             lines.append(f"group: {decision.render()}")
         return lines
@@ -240,7 +258,9 @@ class WindowScheduler:
                  dominance: float = DEFAULT_DOMINANCE,
                  task_size: int = 20_000,
                  max_recorded: int = 8,
-                 executor: Optional[str] = None) -> None:
+                 executor: Optional[str] = None,
+                 arena_bytes: Optional[int] = None,
+                 governor: Any = None) -> None:
         self.workers = resolve_workers(workers)
         self.executor = resolve_executor(executor)
         self.morsels_per_worker = max(int(morsels_per_worker), 1)
@@ -249,9 +269,12 @@ class WindowScheduler:
         self.dominance = float(dominance)
         self.task_size = max(int(task_size), 1)
         self.max_recorded = max(int(max_recorded), 1)
+        self.arena_bytes = resolve_arena_bytes(arena_bytes)
+        self.governor = governor
         self._lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._procpool = None
+        self._arena = None
         #: One WorkerPoolError marks the pool broken for the session;
         #: later groups go straight to threads without re-spawning.
         self._process_broken = False
@@ -284,6 +307,34 @@ class WindowScheduler:
                 self._stats.pool_started = True
             return self._procpool
 
+    def table_arena(self):
+        """The session-lifetime shared-memory table arena (lazy).
+
+        Created on the first process-executor group; persists — with
+        its column, permutation and tree-level entries — until
+        :meth:`close`, which is what makes repeat queries warm."""
+        with self._lock:
+            if self._arena is None:
+                from repro.parallel.arena import TableArena
+                self._arena = TableArena(budget_bytes=self.arena_bytes,
+                                         governor=self.governor)
+            return self._arena
+
+    def arena_stats(self):
+        """ArenaStats when an arena exists, else None (never creates)."""
+        with self._lock:
+            arena = self._arena
+        return None if arena is None else arena.stats()
+
+    def invalidate_arena(self, token) -> int:
+        """Drop unpinned arena entries keyed by ``token`` (a content
+        fingerprint); 0 when no arena exists. Called on table
+        re-registration — content keys already make stale hits
+        impossible, this merely frees the bytes early."""
+        with self._lock:
+            arena = self._arena
+        return 0 if arena is None else arena.invalidate(token)
+
     def mark_process_broken(self) -> None:
         """Stop routing groups to the process pool for this session."""
         with self._lock:
@@ -299,10 +350,14 @@ class WindowScheduler:
         with self._lock:
             pool, self._pool = self._pool, None
             procpool, self._procpool = self._procpool, None
+            arena, self._arena = self._arena, None
         if pool is not None:
             pool.shutdown(wait=True)
         if procpool is not None:
             procpool.close()
+        if arena is not None:
+            # After the workers: a child may still hold attachments.
+            arena.close()
 
     def __enter__(self) -> "WindowScheduler":
         return self
@@ -371,6 +426,19 @@ class WindowScheduler:
         return ThreadedProbes(
             self.pool(), self.workers,
             task_size=self._intra_task_size(decision.rows))
+
+    def process_probes(self, decision: GroupDecision, lease):
+        """Process-pool probe kernels for one intra-partition group.
+
+        ``lease`` is the group's :class:`~repro.parallel.arena
+        .ArenaLease` — tree levels serialized for the workers pin on it
+        until the operator releases the group."""
+        from repro.parallel.probes import ProcessProbes
+        return ProcessProbes(
+            self, lease,
+            task_size=self._intra_task_size(decision.rows),
+            min_rows=max(self.min_intra_rows, 1),
+            governor=self.governor)
 
     # ------------------------------------------------------------------
     # execution
@@ -464,12 +532,15 @@ class WindowScheduler:
         with self._lock:
             procpool = self._procpool
             broken = self._process_broken
+            arena = self._arena
         stats = {
             "executor": self.executor,
             "workers": self.workers,
             "process_broken": broken,
             "shm_bytes": current_shm_bytes(),
         }
+        if arena is not None:
+            stats["arena"] = arena.stats().to_dict()
         if procpool is not None:
             stats.update(procpool.stats())
         return stats
@@ -478,6 +549,7 @@ class WindowScheduler:
         """A snapshot of the counters and recent decisions."""
         with self._lock:
             procpool = self._procpool
+            arena = self._arena
             snapshot = ParallelStats(
                 workers=self.workers,
                 executor=self.executor,
@@ -492,6 +564,8 @@ class WindowScheduler:
                 decisions=list(self._stats.decisions))
         if procpool is not None:
             snapshot.worker_pool = procpool.stats()
+        if arena is not None:
+            snapshot.arena = arena.stats()
         return snapshot
 
 

@@ -12,8 +12,10 @@ Robustness mirrors the spill-file discipline of
 :mod:`repro.cache.spill`:
 
 * **pid-tagged names** — segments are named
-  ``repro-shm-p<pid>-<hex>``, so any process can tell which segments
-  belong to a live owner;
+  ``repro-shm-p<pid>-<hex>`` (group-transient) or
+  ``repro-arena-p<pid>-<hex>`` (session-lifetime arena entries, see
+  :mod:`repro.parallel.arena`), so any process can tell which segments
+  belong to a live owner and which lifetime class they are in;
 * **unlink-on-exit** — every live segment is registered in a
   module-wide table swept by an ``atexit`` hook, so a normal
   interpreter shutdown cannot leak ``/dev/shm`` entries;
@@ -48,7 +50,20 @@ from repro.resilience.context import current_context
 
 #: Segment names carry their owner's pid: ``repro-shm-p<pid>-<hex>``.
 SHM_PREFIX = "repro-shm-"
-_PID_PATTERN = re.compile(re.escape(SHM_PREFIX) + r"p(\d+)-")
+
+#: Session-lifetime arena segments (:mod:`repro.parallel.arena`) use a
+#: distinct prefix: same pid-tagging and sweep rules, but leak tests
+#: can tell a transient group segment from an intentionally long-lived
+#: arena entry.
+ARENA_PREFIX = "repro-arena-"
+
+#: Both naming schemes are owned by this module's sweeps: a segment
+#: whose pid tag names a dead process is an orphan whichever lifetime
+#: class it belonged to, and a live pid's segments — group-transient or
+#: arena-lifetime — are never another session's to reclaim.
+_PID_PATTERN = re.compile(
+    "(?:" + re.escape(SHM_PREFIX) + "|" + re.escape(ARENA_PREFIX)
+    + r")p(\d+)-")
 
 #: Where POSIX shared memory appears as files (Linux). The orphan sweep
 #: is a no-op elsewhere; unlink-on-exit still runs everywhere.
@@ -58,10 +73,11 @@ _SHM_DIR = "/dev/shm"
 _LIVE: Dict[str, shared_memory.SharedMemory] = {}
 _LIVE_LOCK = threading.Lock()
 _LIVE_BYTES = 0
+_ARENA_BYTES = 0
 
 
-def _segment_name() -> str:
-    return f"{SHM_PREFIX}p{os.getpid()}-{uuid.uuid4().hex[:16]}"
+def _segment_name(prefix: str = SHM_PREFIX) -> str:
+    return f"{prefix}p{os.getpid()}-{uuid.uuid4().hex[:16]}"
 
 
 def _pid_alive(pid: int) -> bool:
@@ -80,23 +96,31 @@ def _pid_alive(pid: int) -> bool:
 
 
 def current_shm_bytes() -> int:
-    """Bytes currently held in live segments created by this process."""
+    """Bytes held in live *group-transient* segments created by this
+    process. Arena-lifetime segments are excluded — they persist
+    between queries by design and report their footprint through
+    ``TableArena.stats()`` / the ``repro_arena_bytes`` gauge — so this
+    stays the between-queries leak check it always was."""
     with _LIVE_LOCK:
-        return _LIVE_BYTES
+        return _LIVE_BYTES - _ARENA_BYTES
 
 
 def _register(segment: shared_memory.SharedMemory) -> None:
-    global _LIVE_BYTES
+    global _LIVE_BYTES, _ARENA_BYTES
     with _LIVE_LOCK:
         _LIVE[segment.name] = segment
         _LIVE_BYTES += segment.size
+        if segment.name.startswith(ARENA_PREFIX):
+            _ARENA_BYTES += segment.size
 
 
 def _unregister(segment: shared_memory.SharedMemory) -> None:
-    global _LIVE_BYTES
+    global _LIVE_BYTES, _ARENA_BYTES
     with _LIVE_LOCK:
         if _LIVE.pop(segment.name, None) is not None:
             _LIVE_BYTES -= segment.size
+            if segment.name.startswith(ARENA_PREFIX):
+                _ARENA_BYTES -= segment.size
 
 
 @atexit.register
@@ -143,6 +167,31 @@ def sweep_orphan_segments(directory: str = _SHM_DIR) -> int:
         except OSError:  # pragma: no cover - racing cleanup
             pass
     return removed
+
+
+def create_segment(nbytes: int,
+                   prefix: str = SHM_PREFIX) -> shared_memory.SharedMemory:
+    """Create and register a pid-tagged segment of ``nbytes`` bytes.
+
+    The ``shm.attach`` fault site sits before the OS call so an
+    injected fault takes the same OSError path a full /dev/shm would.
+    The caller owns the segment and must ``_unregister`` + unlink it;
+    until then the atexit sweep covers interpreter shutdown."""
+    current_context().fire("shm.attach")
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(int(nbytes), 1), name=_segment_name(prefix))
+    _register(segment)
+    return segment
+
+
+def release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Unregister, close and unlink a segment created by this process."""
+    _unregister(segment)
+    try:
+        segment.close()
+        segment.unlink()
+    except OSError:  # pragma: no cover - already swept
+        pass
 
 
 @dataclass(frozen=True)
@@ -202,12 +251,7 @@ class ShmArena:
         self._closed = False
 
     def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
-        # The fault site sits before the OS call so an injected fault
-        # takes the same OSError path a full /dev/shm would.
-        current_context().fire("shm.attach")
-        segment = shared_memory.SharedMemory(
-            create=True, size=max(int(nbytes), 1), name=_segment_name())
-        _register(segment)
+        segment = create_segment(nbytes)
         self._segments.append(segment)
         if self._governor is not None:
             self._governor.charge(segment.size, "shm")
@@ -265,15 +309,28 @@ class ShmArena:
         self.close()
 
 
-def owned_segments(pid: Optional[int] = None) -> List[str]:
-    """Segment file names in ``/dev/shm`` tagged with ``pid`` (defaults
-    to this process) — used by leak tests; [] where unsupported."""
+def _list_segments(prefix: str, pid: Optional[int]) -> List[str]:
     if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
         return []
     pid = os.getpid() if pid is None else pid
-    tag = f"{SHM_PREFIX}p{pid}-"
+    tag = f"{prefix}p{pid}-"
     try:
         return sorted(e for e in os.listdir(_SHM_DIR)
                       if e.startswith(tag))
     except OSError:  # pragma: no cover - unreadable shm dir
         return []
+
+
+def owned_segments(pid: Optional[int] = None) -> List[str]:
+    """Group-transient segment names in ``/dev/shm`` tagged with ``pid``
+    (defaults to this process) — used by leak tests; [] where
+    unsupported. Arena-lifetime segments are intentionally excluded
+    (they outlive the group); see :func:`arena_segments`."""
+    return _list_segments(SHM_PREFIX, pid)
+
+
+def arena_segments(pid: Optional[int] = None) -> List[str]:
+    """Arena-lifetime segment names tagged with ``pid`` — the session
+    arena's entries, which persist between queries and must vanish only
+    on session close (or the orphan sweep once the pid dies)."""
+    return _list_segments(ARENA_PREFIX, pid)

@@ -127,6 +127,7 @@ class HealthCounters:
     worker_restarts: int = 0        # pool workers respawned
     morsel_retries: int = 0         # morsels re-queued after a crash
     morsels_quarantined: int = 0    # morsels handed to the degraded path
+    arena_evictions: int = 0        # shm-arena entries evicted (pressure)
     downgrades: List[str] = field(default_factory=list)
 
     def merge(self, other: "HealthCounters") -> None:
@@ -148,6 +149,7 @@ class HealthCounters:
         self.worker_restarts += other.worker_restarts
         self.morsel_retries += other.morsel_retries
         self.morsels_quarantined += other.morsels_quarantined
+        self.arena_evictions += other.arena_evictions
         for entry in other.downgrades:
             if entry not in self.downgrades:
                 self.downgrades.append(entry)
@@ -166,7 +168,7 @@ class HealthCounters:
                     or self.breaker_short_circuits
                     or self.verification_failures
                     or self.worker_crashes or self.morsel_retries
-                    or self.morsels_quarantined)
+                    or self.morsels_quarantined or self.arena_evictions)
 
     def render(self) -> List[str]:
         """Human-readable lines for ``EXPLAIN`` / session stats."""
@@ -195,6 +197,8 @@ class HealthCounters:
                 f"worker_restarts={self.worker_restarts} "
                 f"morsel_retries={self.morsel_retries} "
                 f"morsels_quarantined={self.morsels_quarantined}")
+        if self.arena_evictions:
+            lines.append(f"arena_evictions={self.arena_evictions}")
         for entry in self.downgrades:
             lines.append(f"fallback: {entry}")
         return lines

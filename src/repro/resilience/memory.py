@@ -207,6 +207,7 @@ class MemoryGovernor:
         self._peak = 0
         self._by_tag: Dict[str, int] = {}
         self._stats = MemoryStats(budget_bytes=budget_bytes)
+        self._reclaimers: List[Any] = []
 
     # ------------------------------------------------------------------
     # ledger state
@@ -285,6 +286,10 @@ class MemoryGovernor:
         deadline = clock.monotonic() + budget
         waited = False
         while True:
+            # Reclaimable bytes (e.g. unpinned shm-arena entries) are
+            # evicted before a batch query waits or is shed: cached
+            # warm-start state is always worth less than admitting work.
+            self._try_reclaim(nbytes)
             with self._lock:
                 if self._used + nbytes <= self.budget:
                     self._grant_locked(nbytes, tag)
@@ -337,6 +342,34 @@ class MemoryGovernor:
             else:
                 self._by_tag.pop(tag, None)
             self._stats.releases += 1
+
+    def add_reclaimer(self, fn: Any) -> None:
+        """Register ``fn(shortfall_bytes) -> freed_bytes``.
+
+        Reclaimers are components holding evictable bytes (the shm
+        table arena); hard reservations call them — oldest registration
+        first — before parking or shedding, so a session sheds queries
+        only once nothing cheaper is left to give back."""
+        with self._lock:
+            self._reclaimers.append(fn)
+
+    def _try_reclaim(self, nbytes: int) -> int:
+        with self._lock:
+            if self.budget is None or not self._reclaimers:
+                return 0
+            shortfall = self._used + nbytes - self.budget
+            reclaimers = list(self._reclaimers)
+        if shortfall <= 0:
+            return 0
+        freed = 0
+        for fn in reclaimers:
+            try:
+                freed += int(fn(shortfall - freed) or 0)
+            except Exception:  # pragma: no cover - reclaimer bug
+                pass
+            if freed >= shortfall:
+                break
+        return freed
 
     # ------------------------------------------------------------------
     # charges (caches — never refused, they evict to repay)

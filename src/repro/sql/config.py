@@ -98,7 +98,11 @@ class SessionConfig:
       when unset) and ``executor`` (``"process"`` | ``"thread"`` |
       ``"serial"``; ``None`` → ``REPRO_EXECUTOR``, thread pool when
       unset — the process executor runs morsels in supervised child
-      processes over shared-memory columns);
+      processes over shared-memory columns) and ``arena_bytes``
+      (byte budget of the session-lifetime shared-memory table arena
+      that warm-starts repeat process-executor queries; ``None`` →
+      ``REPRO_ARENA_BYTES``, unlimited when unset, ``0`` caches
+      nothing);
     * testing: ``faults``, ``clock``;
     * observability: ``trace`` (``None`` → ``REPRO_TRACE``), ``metrics``,
       ``trace_max_spans``.
@@ -124,6 +128,7 @@ class SessionConfig:
     verify_reload: bool = True
     workers: Optional[int] = None
     executor: Optional[str] = None
+    arena_bytes: Optional[int] = None
     trace: Optional[bool] = None
     metrics: bool = True
     trace_max_spans: int = 10_000
@@ -164,6 +169,8 @@ class SessionConfig:
         _require(self.executor in (None, "process", "thread", "serial"),
                  f"executor must be one of 'process', 'thread', "
                  f"'serial', got {self.executor!r}")
+        _require(self.arena_bytes is None or self.arena_bytes >= 0,
+                 f"arena_bytes must be >= 0, got {self.arena_bytes}")
         _require(self.trace_max_spans >= 1,
                  f"trace_max_spans must be >= 1, "
                  f"got {self.trace_max_spans}")
@@ -180,7 +187,8 @@ class SessionConfig:
         ``REPRO_MAX_QUEUE``, ``REPRO_QUEUE_TIMEOUT``,
         ``REPRO_BREAKER_THRESHOLD``, ``REPRO_BREAKER_RESET``,
         ``REPRO_VERIFY_RATE``, ``REPRO_VERIFY_SEED``, ``REPRO_WORKERS``,
-        ``REPRO_EXECUTOR``, ``REPRO_TRACE``, ``REPRO_METRICS``. Unset variables keep their
+        ``REPRO_EXECUTOR``, ``REPRO_ARENA_BYTES``, ``REPRO_TRACE``,
+        ``REPRO_METRICS``. Unset variables keep their
         defaults; explicit ``**overrides`` win over the environment.
         """
         env = os.environ if env is None else env
@@ -207,6 +215,7 @@ class SessionConfig:
         put("workers", _env_int(env, "REPRO_WORKERS"))
         put("executor",
             (env.get("REPRO_EXECUTOR") or "").strip().lower() or None)
+        put("arena_bytes", _env_int(env, "REPRO_ARENA_BYTES"))
         put("trace", _env_bool(env, "REPRO_TRACE"))
         put("metrics", _env_bool(env, "REPRO_METRICS"))
         values.update(overrides)

@@ -436,7 +436,9 @@ class Session:
         #: query shares it, so total worker threads stay bounded at
         #: ``workers`` no matter how large ``max_concurrent`` is.
         self.parallel = WindowScheduler(workers=config.workers,
-                                        executor=config.executor)
+                                        executor=config.executor,
+                                        arena_bytes=config.arena_bytes,
+                                        governor=self.memory)
         self.health = HealthCounters()
         self._health_lock = threading.Lock()
         #: Tracing default for queries that don't override it per call:
@@ -735,6 +737,21 @@ class Session:
         w_groups = m.counter(
             "repro_worker_groups_total",
             "Parallel groups by executor outcome.", ["outcome"])
+        a_bytes = m.gauge(
+            "repro_arena_bytes",
+            "Bytes resident in the shared-memory table arena.")
+        a_entries = m.gauge(
+            "repro_arena_entries",
+            "Entries resident in the shared-memory table arena.")
+        a_hits = m.counter(
+            "repro_arena_hits_total",
+            "Table-arena hits (zero-copy warm attaches).")
+        a_misses = m.counter(
+            "repro_arena_misses_total",
+            "Table-arena misses (cold materializations).")
+        a_evictions = m.counter(
+            "repro_arena_evictions_total",
+            "Table-arena entries evicted under memory pressure.")
         breaker_states = {"closed": 0, "open": 1, "half-open": 2}
 
         def collect() -> None:
@@ -797,6 +814,12 @@ class Session:
                 w_events.set_total(ws.get(kind, 0), kind=kind)
             w_groups.set_total(ps.process_groups, outcome="process")
             w_groups.set_total(ps.degraded_groups, outcome="degraded")
+            ar = self.parallel.arena_stats()
+            a_bytes.set(ar.bytes if ar else 0)
+            a_entries.set(ar.entries if ar else 0)
+            a_hits.set_total(ar.hits if ar else 0)
+            a_misses.set_total(ar.misses if ar else 0)
+            a_evictions.set_total(ar.evictions if ar else 0)
 
         m.add_collector(collect)
 
@@ -809,6 +832,23 @@ class Session:
         """The session's metrics as a JSON-able dict ({} when metrics
         are disabled)."""
         return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Register (or replace) a catalog table for this session.
+
+        Arena entries are content-keyed, so a replaced table can never
+        produce a stale hit — but its shared-memory entries would
+        linger until LRU eviction. This drops the old contents' column
+        entries eagerly, so a mutation frees arena bytes right away."""
+        replaced = (self.catalog.lookup(name)
+                    if name in self.catalog else None)
+        self.catalog.register(name, table)
+        if replaced is None or replaced is table:
+            return
+        from repro.cache.fingerprint import column_fingerprint
+        for column_name in replaced.schema.names():
+            self.parallel.invalidate_arena(
+                column_fingerprint(replaced.column(column_name)))
 
     def cache_stats(self):
         return self.cache.stats()

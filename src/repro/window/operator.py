@@ -25,6 +25,22 @@ open ``worker.pool`` breaker, a non-numeric (process-ineligible)
 column set, or a broken pool each downgrade the group to the thread
 executor in place, and quarantined morsels re-run on the in-thread
 path — so a dying worker fleet costs throughput, never answers.
+
+Two refinements amortize the process executor's per-query setup:
+
+* Input columns and the sort permutation live in the session-lifetime
+  :class:`~repro.parallel.arena.TableArena` rather than per-group
+  transient segments. Entries are content-keyed
+  (:mod:`repro.cache.fingerprint`), pinned through an
+  :class:`~repro.parallel.arena.ArenaLease` for the duration of the
+  group, and copied at most once per session — a warm repeat query
+  skips the argsort *and* the column copy and its workers attach
+  zero-copy (only result scatter buffers stay transient).
+* Intra-partition groups no longer ship per-call to workers. The
+  partition builds (or attaches) its structures once on the query
+  thread, tree levels are serialized into the arena, and only the
+  per-row probe batches fan out (:class:`~repro.parallel.probes
+  .ProcessProbes`) — build-once now *does* cross process boundaries.
 """
 
 from __future__ import annotations
@@ -49,7 +65,6 @@ from repro.parallel.scheduler import (
     INTER_PARTITION,
     INTRA_PARTITION,
     WindowScheduler,
-    bin_pack,
     default_scheduler,
 )
 from repro.resilience.context import current_context
@@ -196,6 +211,53 @@ def _evaluate_group(table: Table, spec: WindowSpec,
                     cache: Any = None,
                     parallel: Optional[WindowScheduler] = None
                     ) -> List[List[Any]]:
+    scheduler = parallel if parallel is not None else default_scheduler()
+    # The arena lease spans the whole group: every entry it touches
+    # (sort permutation, input columns, serialized tree levels) stays
+    # pinned — and therefore mapped — until the last scatter.
+    lease = (scheduler.table_arena().lease()
+             if scheduler.process_enabled else None)
+    try:
+        return _evaluate_group_inner(table, spec, calls, cache,
+                                     scheduler, lease)
+    finally:
+        if lease is not None:
+            lease.release()
+
+
+def _resolve_order(lease: Any, table: Table, spec: WindowSpec,
+                   sort_columns: List[SortColumn], n: int
+                   ) -> Tuple[np.ndarray, Optional[Any], bool]:
+    """The group's sort permutation, arena-cached when possible.
+
+    With a process-executor lease and at least one sort key the
+    permutation lives in the table arena, keyed by the content
+    fingerprint of the sort columns plus the spec's ordering signature:
+    a warm repeat query skips the argsort *and* the copy, and the
+    returned spec ships to workers without a transient segment.
+
+    Returns ``(order, arena spec or None, shm_failed)``: a
+    shared-memory failure computes the permutation in place — the query
+    must not fail — and reports ``shm_failed=True`` so the caller can
+    take the group down the same degradation rung as a column-share
+    failure instead of touching shared memory again."""
+    names = list(spec.partition_by) + [i.column for i in spec.order_by]
+    if lease is None or not names:
+        return stable_argsort(sort_columns, n), None, False
+    from repro.cache.fingerprint import spec_signature, table_fingerprint
+    key = ("order", table_fingerprint(table, names), spec_signature(spec))
+    try:
+        entry = lease.get(key,
+                          lambda: [stable_argsort(sort_columns, n)])
+    except OSError:
+        return stable_argsort(sort_columns, n), None, True
+    return entry.views[0], entry.specs[0], False
+
+
+def _evaluate_group_inner(table: Table, spec: WindowSpec,
+                          calls: Sequence[WindowCall],
+                          cache: Any, scheduler: WindowScheduler,
+                          lease: Any) -> List[List[Any]]:
     n = table.num_rows
     ctx = current_context()
     tracer = ctx.tracer
@@ -217,7 +279,8 @@ def _evaluate_group(table: Table, spec: WindowSpec,
                 SortColumn(values, descending=item.descending,
                            nulls_last=item.resolved_nulls_last(),
                            validity=validity))
-        order = stable_argsort(partition_columns + order_columns, n)
+        order, order_spec, order_shm_failed = _resolve_order(
+            lease, table, spec, partition_columns + order_columns, n)
 
         # Partition boundaries along the sorted order.
         if partition_columns:
@@ -238,8 +301,6 @@ def _evaluate_group(table: Table, spec: WindowSpec,
     finally:
         if partition_span is not None:
             partition_span.__exit__(None, None, None)
-
-    scheduler = parallel if parallel is not None else default_scheduler()
 
     buffers = [_ResultBuffer(n) for _ in calls]
     date_columns = date_column_names(table)
@@ -304,10 +365,27 @@ def _evaluate_group(table: Table, spec: WindowSpec,
         morsels=decision.morsels) if tracer.enabled else NULL_SPAN
     with group_span:
         if decision.executor == "process":
-            if _run_group_process(
-                    ctx, scheduler, decision, spec, calls,
-                    all_column_data, order, starts, sizes, buffers,
-                    date_columns, evaluate_partition, n):
+            handled = False
+            if order_shm_failed:
+                # The permutation's arena materialization already hit
+                # the shared-memory failure — same rung of the ladder
+                # as a column-share failure inside the group helpers.
+                breaker_failure(ctx, ctx.breaker("worker.pool"))
+                _downgrade(ctx, scheduler, decision,
+                           "shared-memory setup failed -> thread "
+                           "executor")
+            elif decision.strategy == INTRA_PARTITION \
+                    and lease is not None:
+                handled = _run_group_probe_fan(
+                    ctx, scheduler, decision, lease,
+                    evaluate_partition, len(sizes))
+            elif decision.strategy == INTER_PARTITION:
+                handled = _run_group_process(
+                    ctx, scheduler, decision, spec, calls, table,
+                    all_column_data, order, order_spec, starts, sizes,
+                    buffers, date_columns, evaluate_partition, n,
+                    lease)
+            if handled:
                 return [buffer.finish() for buffer in buffers]
             # The helper downgraded decision.executor in place; the
             # group continues on the thread/serial machinery below.
@@ -378,42 +456,100 @@ def _process_eligible(spec: WindowSpec, calls: Sequence[WindowCall],
     return True
 
 
-def _process_tasks(decision: Any, sizes: np.ndarray,
-                   num_calls: int, scheduler: WindowScheduler) -> list:
-    """The group's work as pool tasks.
+def _downgrade(ctx: Any, scheduler: WindowScheduler, decision: Any,
+               reason: str, fallback: bool = True) -> bool:
+    """Downgrade one group to the thread executor in place. Returns
+    False so callers can ``return _downgrade(...)`` from the process
+    helpers (False = the thread/serial machinery below runs the
+    group)."""
+    if fallback:
+        ctx.record_fallback(reason)
+    decision.executor = "thread"
+    decision.reason = (f"{decision.reason}; {reason}"
+                       if decision.reason else reason)
+    scheduler.note_degraded_group()
+    return False
 
-    Inter-partition: one task per planned morsel, all calls.
-    Intra-partition: the dominant partition fans out one task per call
-    (each worker builds its own structures — build-once does not cross
-    process boundaries), and the remaining partitions are bin-packed
-    into ordinary morsels."""
+
+def _process_tasks(decision: Any, num_calls: int) -> list:
+    """An inter-partition group's work as pool tasks: one task per
+    planned morsel, all calls. (Intra-partition groups no longer ship
+    whole to workers — they evaluate on the query thread and fan probe
+    batches instead; see :func:`_run_group_probe_fan`.)"""
     from repro.parallel.procworker import ProcTask
 
     all_calls = tuple(range(num_calls))
-    if decision.strategy == INTER_PARTITION:
-        return [ProcTask(m, tuple(int(p) for p in bucket), all_calls)
-                for m, bucket in enumerate(decision.plan)]
-    dominant = int(np.argmax(sizes))
-    tasks = [ProcTask(ci, (dominant,), (ci,)) for ci in range(num_calls)]
-    rest = np.delete(np.arange(len(sizes), dtype=np.int64), dominant)
-    if rest.size:
-        plan = bin_pack(sizes[rest],
-                        scheduler.workers * scheduler.morsels_per_worker)
-        for bucket in plan:
-            tasks.append(ProcTask(
-                len(tasks), tuple(int(rest[i]) for i in bucket),
-                all_calls))
-    return tasks
+    return [ProcTask(m, tuple(int(p) for p in bucket), all_calls)
+            for m, bucket in enumerate(decision.plan)]
+
+
+def _run_group_probe_fan(ctx: Any, scheduler: WindowScheduler,
+                         decision: Any, lease: Any,
+                         evaluate_partition: Any,
+                         num_partitions: int) -> bool:
+    """Run one intra-partition group with probes fanned to the pool.
+
+    Unlike the inter-partition path, evaluation stays on the query
+    thread: each partition builds (or cache-attaches) its structures
+    once, the tree levels are serialized into the arena, and only the
+    per-row probe batches ship to workers. Returns True when the group
+    evaluated — possibly with mid-group degradation to the threaded or
+    serial kernels, which the probes object records — and False only
+    when the ``worker.pool`` breaker was already open, after
+    downgrading ``decision.executor`` in place like
+    :func:`_run_group_process`."""
+    breaker = ctx.breaker("worker.pool")
+    try:
+        breaker_allow(ctx, breaker)
+    except CircuitOpenError:
+        return _downgrade(ctx, scheduler, decision,
+                          "worker.pool breaker open -> thread executor")
+
+    probes = scheduler.process_probes(decision, lease)
+    for p in range(num_partitions):
+        ctx.checkpoint()
+        probes.partition = p
+        evaluate_partition(p, probes)
+
+    notes = []
+    if probes.broken_reason is not None:
+        # Mid-group pool loss: batches fanned before the failure kept
+        # their results, the rest ran on the threaded fallback — the
+        # output is whole either way, so record the degradation rather
+        # than re-running anything.
+        breaker_failure(ctx, breaker)
+        ctx.record_fallback(probes.broken_reason)
+        scheduler.note_degraded_group()
+        notes.append(probes.broken_reason)
+    elif probes.fallback_reason is not None:
+        # Structural: these partitions' tree levels cannot map into
+        # shared memory. Routine (like process-ineligible columns), so
+        # no fallback health counter — but a group where *nothing*
+        # fanned still counts degraded for the scheduler stats.
+        if probes.fanned == 0:
+            scheduler.note_degraded_group()
+        notes.append(probes.fallback_reason)
+    if probes.fanned:
+        if breaker is not None and probes.broken_reason is None:
+            breaker.record_success()
+        scheduler.note_process_group()
+    if notes:
+        extra = "; ".join(notes)
+        decision.reason = (f"{decision.reason}; {extra}"
+                           if decision.reason else extra)
+    return True
 
 
 def _run_group_process(ctx: Any, scheduler: WindowScheduler,
                        decision: Any, spec: WindowSpec,
-                       calls: Sequence[WindowCall],
+                       calls: Sequence[WindowCall], table: Table,
                        all_column_data: Dict[str, Any],
-                       order: np.ndarray, starts: np.ndarray,
+                       order: np.ndarray, order_spec: Any,
+                       starts: np.ndarray,
                        sizes: np.ndarray, buffers: List[_ResultBuffer],
                        date_columns: frozenset,
-                       evaluate_partition: Any, n: int) -> bool:
+                       evaluate_partition: Any, n: int,
+                       lease: Any = None) -> bool:
     """Try to run one parallel group on the supervised process pool.
 
     Returns True when the group's buffers are fully scattered (the
@@ -421,7 +557,14 @@ def _run_group_process(ctx: Any, scheduler: WindowScheduler,
     ``decision.executor`` to ``"thread"`` in place, leaving the buffers
     untouched for the thread/serial machinery. Quarantined or
     child-errored morsels re-run here on the in-thread degraded path —
-    a partial pool failure never downgrades the already-acked work."""
+    a partial pool failure never downgrades the already-acked work.
+
+    With an arena ``lease``, input columns come from the
+    session-lifetime table arena (content-keyed; copied at most once
+    per session) and ``order_spec`` — the permutation's arena handle
+    from :func:`_resolve_order` — ships directly; only the result
+    scatter buffers live in the per-group transient arena."""
+    from repro.cache.fingerprint import column_fingerprint
     from repro.parallel.procworker import (
         KIND_FLOAT_ARRAY,
         KIND_FLOAT_LIST,
@@ -432,13 +575,7 @@ def _run_group_process(ctx: Any, scheduler: WindowScheduler,
     from repro.parallel.shm import ShmArena
 
     def downgrade(reason: str, fallback: bool = True) -> bool:
-        if fallback:
-            ctx.record_fallback(reason)
-        decision.executor = "thread"
-        decision.reason = (f"{decision.reason}; {reason}"
-                           if decision.reason else reason)
-        scheduler.note_degraded_group()
-        return False
+        return _downgrade(ctx, scheduler, decision, reason, fallback)
 
     breaker = ctx.breaker("worker.pool")
     try:
@@ -458,12 +595,20 @@ def _run_group_process(ctx: Any, scheduler: WindowScheduler,
         for name in sorted(_process_needed_columns(
                 spec, calls, all_column_data)):
             values, validity = all_column_data[name]
-            columns[name] = (arena.share(values), arena.share(validity))
+            if lease is not None:
+                entry = lease.get(
+                    ("col", column_fingerprint(table.column(name))),
+                    lambda v=values, m=validity: [v, m])
+                columns[name] = (entry.specs[0], entry.specs[1])
+            else:
+                columns[name] = (arena.share(values),
+                                 arena.share(validity))
         job = ProcGroupJob(
             group_id=f"p{os.getpid()}-g{next(_GROUP_SEQ)}",
             table_rows=n,
             columns=columns,
-            order=arena.share(order),
+            order=(order_spec if order_spec is not None
+                   else arena.share(order)),
             starts=np.asarray(starts, dtype=np.int64),
             spec=spec,
             calls=tuple(calls),
@@ -477,7 +622,7 @@ def _run_group_process(ctx: Any, scheduler: WindowScheduler,
         return downgrade(
             "shared-memory setup failed -> thread executor")
 
-    tasks = _process_tasks(decision, sizes, len(calls), scheduler)
+    tasks = _process_tasks(decision, len(calls))
     try:
         acks, lost = scheduler.run_process_tasks(job, tasks)
     except WorkerPoolError:

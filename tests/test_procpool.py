@@ -331,6 +331,173 @@ def test_session_process_executor_end_to_end():
     assert owned_segments() == []
 
 
+# ----------------------------------------------------------------------
+# table arena: warm repeats, trace discipline, read-only views
+# ----------------------------------------------------------------------
+FAMILY_CALLS = CALLS + [WindowCall("lead", ("y",)),
+                        WindowCall("first_value", ("x",))]
+
+
+def run_calls(table, calls, scheduler=None, cache=None, ctx=None):
+    if ctx is None:
+        ctx = ExecutionContext()
+    with activate(ctx):
+        result = window_query(table, calls, SPEC, cache=cache,
+                              parallel=scheduler)
+    return [result.columns[i].to_list() for i in range(-len(calls), 0)]
+
+
+def test_warm_repeat_bit_identical_across_evaluator_families():
+    # Five evaluator families — count distinct, median (select probes),
+    # rank, sum (aggregate probes), lead/first_value (navigation) —
+    # must match serial on the cold run AND on warm runs that reuse
+    # arena-resident columns and permutations.
+    from repro.parallel.shm import arena_segments
+
+    table = make_table(1500, 8, seed=61)
+    want = run_calls(table, FAMILY_CALLS)
+    # Under REPRO_EXECUTOR=process the serial-baseline queries above go
+    # through the (never-closed) default scheduler, whose session arena
+    # legitimately persists — judge this scheduler's hygiene relative
+    # to that ambient set.
+    ambient = set(arena_segments())
+    with forced(2) as scheduler:
+        for _ in range(3):
+            assert run_calls(table, FAMILY_CALLS,
+                             scheduler=scheduler) == want
+        arena = scheduler.arena_stats()
+        assert scheduler.stats().degraded_groups == 0
+    assert arena is not None and arena.misses > 0
+    # Runs 2 and 3 attached instead of copying.
+    assert arena.hits >= arena.misses
+    assert owned_segments() == []
+    assert set(arena_segments()) == ambient  # close() unlinked the arena
+
+
+def test_warm_query_trace_has_no_copy_spans():
+    from repro.obs import Tracer
+    from repro.resilience.context import SimulatedClock
+
+    table = make_table(1500, 8, seed=62)
+    with forced(2) as scheduler:
+        cold_tracer = Tracer(clock=SimulatedClock())
+        run_calls(table, CALLS, scheduler=scheduler,
+                  ctx=ExecutionContext(tracer=cold_tracer))
+        cold = cold_tracer.finish().find_all("shm.copy")
+        assert cold  # the cold run materialized arena entries
+        assert {s.attrs["kind"] for s in cold} >= {"order", "col"}
+        warm_tracer = Tracer(clock=SimulatedClock())
+        run_calls(table, CALLS, scheduler=scheduler,
+                  ctx=ExecutionContext(tracer=warm_tracer))
+        # The whole point of the arena: the warm run's trace shows no
+        # copy phase at all.
+        assert warm_tracer.finish().find_all("shm.copy") == []
+
+
+def test_intra_probe_fan_shares_levels_through_the_arena():
+    # Single dominant partition: structures build once on the query
+    # thread, tree levels serialize into the arena, probe batches fan
+    # to workers. With a structure cache the repeat query reuses the
+    # same tree — and its workers attach the levels zero-copy.
+    table = make_table(1200, 1, seed=63)
+    want = run(table)
+    with StructureCache() as cache:
+        with forced(2) as scheduler:
+            assert run(table, scheduler=scheduler, cache=cache) == want
+            assert run(table, scheduler=scheduler, cache=cache) == want
+            stats = scheduler.stats()
+            arena = scheduler.arena_stats()
+            kinds = {key[0]
+                     for key in scheduler.table_arena()._entries}
+    assert stats.intra_groups == 2
+    assert stats.process_groups == 2
+    assert stats.degraded_groups == 0
+    assert "levels" in kinds and "order" in kinds
+    assert arena.hits >= 1
+    assert owned_segments() == []
+
+
+def test_probe_fan_sigkill_once_retries_and_matches(
+        tmp_path, monkeypatch):
+    table = make_table(1200, 1, seed=64)
+    want = run(table)
+    monkeypatch.setenv(CHAOS_ENV, f"kill:0:1:{tmp_path}")
+    ctx = ExecutionContext()
+    with forced(2) as scheduler:
+        assert run(table, scheduler=scheduler, ctx=ctx) == want
+        worker_stats = scheduler.worker_stats()
+        stats = scheduler.stats()
+    assert worker_stats["crashes"] == 1
+    assert worker_stats["retries"] == 1
+    assert stats.process_groups >= 1
+    assert stats.degraded_groups == 0
+    assert owned_segments() == []
+
+
+def test_probe_fan_sigkill_twice_quarantines_and_matches(
+        tmp_path, monkeypatch):
+    # Two kills on the same probe range: quarantine, then the parent
+    # recomputes exactly that range serially — still bit-identical.
+    table = make_table(1200, 1, seed=65)
+    want = run(table)
+    monkeypatch.setenv(CHAOS_ENV, f"kill:0:2:{tmp_path}")
+    ctx = ExecutionContext()
+    with forced(2) as scheduler:
+        assert run(table, scheduler=scheduler, ctx=ctx) == want
+        worker_stats = scheduler.worker_stats()
+    assert worker_stats["crashes"] == 2
+    assert worker_stats["quarantined"] >= 1
+    assert owned_segments() == []
+
+
+def test_worker_probe_input_views_are_read_only():
+    # The regression the shared tree demands: arena pages are mapped
+    # into every worker, so a mutating kernel must raise, not corrupt
+    # sibling workers' inputs.
+    from repro.parallel.procworker import (
+        LevelsHandle,
+        ProcProbeJob,
+        _ProbeState,
+    )
+    from repro.parallel.shm import ShmArena
+
+    with ShmArena() as arena:
+        in_spec = arena.share(np.arange(128, dtype=np.int64))
+        out_spec = arena.create((128,), np.int64)
+        handle = LevelsHandle(token="t0", fanout=16, sample_every=8,
+                              keys=(), bridges=(), agg_prefix=())
+        job = ProcProbeJob(probe_id="p0", op="count", levels=handle,
+                           inputs=(("lo", in_spec),),
+                           outputs=(out_spec,))
+        state = _ProbeState(job)
+        try:
+            assert state.inputs["lo"].flags.writeable is False
+            with pytest.raises(ValueError):
+                state.inputs["lo"][0] = 99
+            state.outputs[0][0] = 7  # outputs must stay writable
+        finally:
+            state.close()
+
+
+def test_mp_start_env_alias(monkeypatch):
+    monkeypatch.delenv("REPRO_PROC_START", raising=False)
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    assert _resolve_start_method(None) == "spawn"
+    monkeypatch.setenv("REPRO_PROC_START", "fork")  # primary wins
+    assert _resolve_start_method(None) == "fork"
+
+
+def test_spawn_start_method_roundtrip(monkeypatch):
+    monkeypatch.delenv("REPRO_PROC_START", raising=False)
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    table = make_table(1200, 8, seed=66)
+    want = run(table)
+    with forced(2) as scheduler:
+        assert run(table, scheduler=scheduler) == want
+        assert scheduler.stats().process_groups >= 1
+    assert owned_segments() == []
+
+
 def test_session_survives_kill_storm_with_typed_errors_only(
         tmp_path, monkeypatch):
     # The CI chaos matrix property, session-level: kills mid-query may

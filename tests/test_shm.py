@@ -14,9 +14,11 @@ import numpy as np
 import pytest
 
 from repro.parallel.shm import (
+    ARENA_PREFIX,
     SHM_PREFIX,
     ShmArena,
     ShmArraySpec,
+    arena_segments,
     attach_array,
     current_shm_bytes,
     owned_segments,
@@ -57,15 +59,18 @@ def test_create_is_zeroed_and_writable_through_attach():
 
 
 def test_close_unlinks_and_leaves_no_owned_segments():
+    # Relative to ambient bytes: under REPRO_EXECUTOR=process the
+    # default scheduler's session arena legitimately persists.
+    ambient = current_shm_bytes()
     arena = ShmArena()
     arena.share(np.ones(128, dtype=np.float64))
     arena.create((32,), np.int64)
     assert len(owned_segments()) >= 2
-    assert current_shm_bytes() >= 128 * 8 + 32 * 8
+    assert current_shm_bytes() >= ambient + 128 * 8 + 32 * 8
     arena.close()
     arena.close()  # idempotent
     assert owned_segments() == []
-    assert current_shm_bytes() == 0
+    assert current_shm_bytes() == ambient
 
 
 def test_governor_ledger_charges_and_refunds_the_shm_tag():
@@ -94,6 +99,51 @@ def test_sweep_removes_dead_pid_segments_only(tmp_path):
 
 def test_sweep_missing_directory_is_a_noop(tmp_path):
     assert sweep_orphan_segments(str(tmp_path / "absent")) == 0
+
+
+def test_sweep_recognizes_arena_lifetime_segments(tmp_path):
+    # Session-lifetime arena segments use their own prefix but the same
+    # pid-tagged discipline: dead-owner segments go, live-owner stay.
+    dead = tmp_path / f"{ARENA_PREFIX}p99999999-deadbeef00000000"
+    live = tmp_path / f"{ARENA_PREFIX}p{os.getpid()}-cafecafe00000000"
+    dead.write_bytes(b"x")
+    live.write_bytes(b"x")
+    assert sweep_orphan_segments(str(tmp_path)) == 1
+    assert not dead.exists()
+    assert live.exists()
+
+
+def test_two_sessions_race_neither_sweeps_the_others_arena(tmp_path):
+    # The arena outlives queries by design: a concurrent session's
+    # startup sweep must not mistake a live session's warm arena for
+    # an orphan, in either sweep order.
+    mine = tmp_path / f"{ARENA_PREFIX}p{os.getpid()}-aaaaaaaaaaaaaaaa"
+    theirs = tmp_path / f"{ARENA_PREFIX}p1-bbbbbbbbbbbbbbbb"  # pid 1
+    mine.write_bytes(b"x")
+    theirs.write_bytes(b"x")
+    assert sweep_orphan_segments(str(tmp_path)) == 0
+    assert sweep_orphan_segments(str(tmp_path)) == 0
+    assert mine.exists() and theirs.exists()
+
+
+def test_owned_segments_excludes_the_arena_prefix():
+    # Leak checks assert owned_segments() == [] after every query while
+    # the arena persists — the two namespaces must stay disjoint.
+    from repro.parallel.arena import TableArena
+
+    # Ambient segments (the default scheduler's arena, when an env leg
+    # routes the suite through the process executor) persist by design.
+    ambient = set(arena_segments())
+    with TableArena() as arena:
+        lease = arena.lease()
+        entry = lease.get(("col", "fp"),
+                          lambda: [np.arange(64, dtype=np.int64)])
+        assert entry.specs[0].name.startswith(
+            f"{ARENA_PREFIX}p{os.getpid()}-")
+        assert owned_segments() == []
+        assert set(arena_segments()) - ambient == {entry.specs[0].name}
+        lease.release()
+    assert set(arena_segments()) == ambient
 
 
 def test_two_sessions_race_neither_sweeps_the_other(tmp_path):
