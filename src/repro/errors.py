@@ -99,6 +99,18 @@ class SqlAnalysisError(SqlError):
     code = "SQL_ANALYSIS"
 
 
+class ParameterBindingError(SqlError):
+    """A prepared-statement parameter list failed validation.
+
+    Raised at prepare time (mixed ``$n``/``:name`` styles, gaps in the
+    positional numbering) or at bind time (wrong arity, missing or
+    extra names, a value whose type contradicts the slot's inferred
+    column type). The statement never ran, so the serving tier maps
+    this to HTTP 422 — a client bug, not a server failure."""
+
+    code = "PARAM_BINDING"
+
+
 class ExecutionError(ReproError):
     """A runtime failure while executing a query plan."""
 

@@ -47,7 +47,13 @@ Sites currently wired into the engine:
   re-queued; an injected fault quarantines the morsel instead;
 * ``shm.attach``     — before every shared-memory segment creation in
   :class:`~repro.parallel.shm.ShmArena`, so shared-memory setup can be
-  failed like a full ``/dev/shm``.
+  failed like a full ``/dev/shm``;
+* ``join.build``     — before every hash-join build in the SQL
+  executor, after the build-side reservation is taken, so join memory
+  accounting unwinds cleanly under injected failure;
+* ``cte.materialize`` — before every CTE materialization in
+  ``execute_select``, so half-materialized WITH chains release their
+  reservations.
 
 The injector is carried by the active
 :class:`~repro.resilience.context.ExecutionContext`; code under test
@@ -167,6 +173,7 @@ _KNOWN_SITES = frozenset({
     "cache.reload", "gateway.admit", "circuit.probe",
     "memory.reserve", "partition.spill", "partition.reload",
     "worker.spawn", "worker.heartbeat", "worker.retry", "shm.attach",
+    "join.build", "cte.materialize",
 })
 
 
@@ -186,4 +193,4 @@ def sites() -> List[str]:
             "cache.reload", "gateway.admit", "circuit.probe",
             "memory.reserve", "partition.spill", "partition.reload",
             "worker.spawn", "worker.heartbeat", "worker.retry",
-            "shm.attach"]
+            "shm.attach", "join.build", "cte.materialize"]

@@ -4,8 +4,10 @@
 maps the four endpoints onto a :class:`~repro.serve.service.
 QueryService`:
 
-* ``POST /v1/execute``  — run a statement, JSON result;
+* ``POST /v1/execute``  — run a statement (optionally prepared with
+  a ``params`` array/object), JSON result;
 * ``POST /v1/explain``  — the plan (``{"analyze": true}`` executes);
+* ``GET  /v1/tables``   — catalog table schemas;
 * ``GET  /v1/metrics``  — Prometheus text exposition;
 * ``GET  /v1/healthz``  — gateway/breaker/tenant state.
 
@@ -43,6 +45,7 @@ __all__ = ["QueryServer", "ServerThread"]
 _ROUTES = {
     ("POST", "/v1/execute"),
     ("POST", "/v1/explain"),
+    ("GET", "/v1/tables"),
     ("GET", "/v1/metrics"),
     ("GET", "/v1/healthz"),
 }
@@ -216,6 +219,9 @@ class QueryServer:
         if path == "/v1/explain":
             payload = await self.service.explain(request.body, tenant,
                                                  priority)
+            return 200, {}, json_body(payload), "application/json"
+        if path == "/v1/tables":
+            payload = await self.service.tables(tenant)
             return 200, {}, json_body(payload), "application/json"
         if path == "/v1/metrics":
             text = await self.service.metrics()

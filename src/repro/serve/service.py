@@ -112,23 +112,49 @@ class QueryService:
                       ) -> Dict[str, Any]:
         """``POST /v1/execute`` — run one statement.
 
-        Body: ``{"sql": ..., "timeout_ms"?: ..., "priority"?: ...,
-        "trace"?: bool}``. Header priority applies when the body gives
-        none; both are capped by the tenant's policy."""
+        Body: ``{"sql": ..., "params"?: [...] | {...},
+        "timeout_ms"?: ..., "priority"?: ..., "trace"?: bool}``.
+        Header priority applies when the body gives none; both are
+        capped by the tenant's policy.
+
+        ``params`` turns the statement into a prepared execution: the
+        SQL may use ``$1``/``:name`` placeholders, values are bound
+        arity- and type-checked (positional placeholders take a JSON
+        array, named ones a JSON object; mismatches answer 422 with
+        code ``PARAM_BINDING``), and re-executions of the same text
+        hit the plan cache."""
         payload = parse_json_body(body)
         sql = field_str(payload, "sql", required=True)
+        params = payload.get("params")
+        if params is not None and not isinstance(params, (list, dict)):
+            raise ConfigurationError(
+                "field 'params' must be an array (positional) or "
+                "object (named)")
         timeout = _timeout_seconds(field_number(payload, "timeout_ms"))
         trace = field_bool(payload, "trace", default=False)
         requested = field_str(payload, "priority") or requested_priority
         with self.tenants.admit(tenant, requested) as priority:
             options = QueryOptions(timeout=timeout, priority=priority,
                                    trace=True if trace else None)
-            result = await self._offload(
-                lambda: self.session.execute(sql, options=options))
+            if params is None:
+                result = await self._offload(
+                    lambda: self.session.execute(sql, options=options))
+            else:
+                result = await self._offload(
+                    lambda: self.session.prepare(sql).execute(
+                        params, options=options))
         out = result.to_dict(include_trace=trace)
         out["tenant"] = tenant
         out["priority"] = priority
         return out
+
+    async def tables(self, tenant: str) -> Dict[str, Any]:
+        """``GET /v1/tables`` — the session catalog's table schemas."""
+        return {
+            "tenant": tenant,
+            "tables": [schema.to_dict()
+                       for schema in self.session.tables()],
+        }
 
     async def explain(self, body: bytes, tenant: str,
                       requested_priority: Optional[str]

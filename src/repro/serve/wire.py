@@ -14,6 +14,7 @@ MemoryPressureError     503     memory governor shed — retry later
 QueryTimeoutError       408     deadline expired mid-query
 QueryCancelledError     499     request abandoned (nginx idiom)
 ResourceLimitError      422     query exceeds per-query limits
+ParameterBindingError   422     bad prepared-statement params
 SqlError                400     statement unparseable / invalid
 ConfigurationError      400     bad request fields
 other ReproError        500     engine failure
@@ -33,6 +34,7 @@ from repro.errors import (
     CircuitOpenError,
     ConfigurationError,
     MemoryPressureError,
+    ParameterBindingError,
     QueryCancelledError,
     QueryRejectedError,
     QueryTimeoutError,
@@ -52,6 +54,7 @@ _STATUS_BY_TYPE: Tuple[Tuple[type, int], ...] = (
     (QueryTimeoutError, 408),
     (QueryCancelledError, 499),
     (ResourceLimitError, 422),
+    (ParameterBindingError, 422),  # client bug, not a bad statement
     (SqlError, 400),
     (ConfigurationError, 400),
     (ReproError, 500),

@@ -148,8 +148,35 @@ class WindowFunc(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A prepared-statement placeholder: ``$1`` (positional, 1-based)
+    or ``:name`` (named). Bound to a literal before execution."""
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def key(self) -> Union[int, str]:
+        return self.index if self.index is not None else self.name
+
+    def display(self) -> str:
+        if self.index is not None:
+            return f"${self.index}"
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
 class ScalarSubquery(Expr):
     select: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` — semi/anti-join membership."""
+
+    expr: Expr
+    select: "SelectStmt"
+    negated: bool = False
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import (
     ConfigurationError,
     MemoryPressureError,
+    ParameterBindingError,
     QueryCancelledError,
     QueryRejectedError,
     QueryTimeoutError,
@@ -44,6 +45,8 @@ from repro.resilience.context import (
 )
 from repro.resilience.faults import FaultInjector
 from repro.sql import ast
+from repro.sql import plan as logical_plan
+from repro.sql.catalog import Scope, TableSchema
 from repro.sql.config import QueryOptions, SessionConfig
 from repro.sql.result import QueryResult, QueryStats
 from repro.sql.aggregates import compute_aggregate, is_aggregate_name
@@ -250,7 +253,8 @@ _QUERY_OVERHEAD_BYTES = 64 << 10
 
 
 def _collect_table_names(stmt: ast.SelectStmt, out: set) -> None:
-    """All catalog table names a statement scans (CTEs recursed)."""
+    """All catalog table names a statement scans (CTEs, derived tables
+    and WHERE/HAVING/SELECT subqueries recursed)."""
     for _name, cte in stmt.ctes:
         _collect_table_names(cte, out)
 
@@ -264,8 +268,25 @@ def _collect_table_names(stmt: ast.SelectStmt, out: set) -> None:
         elif isinstance(node, ast.Join):
             walk(node.left)
             walk(node.right)
+            if node.condition is not None:
+                visit(node.condition)
+
+    def visit(expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.ScalarSubquery, ast.ExistsExpr,
+                             ast.InSubquery)):
+            _collect_table_names(expr.select, out)
+            if isinstance(expr, ast.InSubquery):
+                visit(expr.expr)
+            return
+        for child in _children(expr):
+            visit(child)
 
     walk(stmt.from_)
+    for item in stmt.items:
+        visit(item.expr)
+    for expr in (stmt.where, stmt.having):
+        if expr is not None:
+            visit(expr)
 
 
 def _estimate_query_bytes(stmt: ast.SelectStmt, catalog: Catalog) -> int:
@@ -490,7 +511,8 @@ class Session:
         return self._run(sql_or_ast, options)
 
     def _run(self, sql_or_ast: Union[str, ast.SelectStmt],
-             options: QueryOptions) -> QueryResult:
+             options: QueryOptions,
+             params: Optional[Dict[Any, Any]] = None) -> QueryResult:
         trace_on = (options.trace if options.trace is not None
                     else self.trace_default)
         tracer = Tracer(clock=self.clock,
@@ -517,6 +539,12 @@ class Session:
         reservation = None
         try:
             stmt = self._parse(sql_or_ast, context)
+            if params is not None:
+                # Prepared execution: the plan cache holds the
+                # parameterized AST (so re-execution with new literals
+                # is a cache hit); binding produces a fresh literal
+                # tree per call without touching the cached one.
+                stmt = logical_plan.bind_parameters(stmt, params)
             # Admission-time memory reservation: estimate the query's
             # working set from its scanned tables and reserve it before
             # taking a gateway slot. Interactive queries always run
@@ -635,7 +663,8 @@ class Session:
         return _explain(sql_or_ast, cache=self.cache, health=self.health,
                         gateway=self.gateway, breakers=self.breakers,
                         parallel=self.parallel, analysis=analysis,
-                        plan_cache=self.plan_cache, memory=self.memory)
+                        plan_cache=self.plan_cache, memory=self.memory,
+                        catalog=self.catalog)
 
     # ------------------------------------------------------------------
     # metrics
@@ -850,6 +879,34 @@ class Session:
             self.parallel.invalidate_arena(
                 column_fingerprint(replaced.column(column_name)))
 
+    # ------------------------------------------------------------------
+    # prepared statements and catalog introspection
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse and validate a parameterized statement once.
+
+        The SQL may use ``$1``-style positional or ``:name``-style
+        named placeholders (one style per statement, positional
+        numbering contiguous from ``$1``). Parameter types are
+        inferred from the columns each placeholder is compared
+        against; :meth:`PreparedStatement.execute` type-checks bound
+        values against them. Parsing goes through the plan cache, so
+        every later execution of the statement is a cache hit."""
+        if not isinstance(sql, str):
+            raise ConfigurationError("prepare() expects SQL text")
+        stmt = self.plan_cache.get_or_parse(sql, parse)[0]
+        specs = logical_plan.validate_parameters(stmt)
+        types = logical_plan.infer_parameter_types(stmt, self.catalog)
+        return PreparedStatement(self, sql, stmt, specs, types)
+
+    def tables(self) -> Tuple[TableSchema, ...]:
+        """Frozen schemas of every registered table, sorted by name."""
+        return self.catalog.tables()
+
+    def describe(self, name: str) -> TableSchema:
+        """The frozen schema of one registered table."""
+        return self.catalog.describe(name)
+
     def cache_stats(self):
         return self.cache.stats()
 
@@ -866,6 +923,94 @@ class Session:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class PreparedStatement:
+    """A parsed, parameter-validated statement bound to a session.
+
+    Created by :meth:`Session.prepare`. ``execute`` binds values to
+    the placeholders (arity- and type-checked against the inferred
+    parameter types), then runs through the normal session path —
+    admission, guardrails, tracing — with the *text* keyed into the
+    plan cache, so every re-execution with fresh literals is a plan
+    cache hit."""
+
+    def __init__(self, session: Session, sql: str, stmt: ast.SelectStmt,
+                 parameters: List[ast.Parameter],
+                 types: Dict[Any, Optional[str]]) -> None:
+        self._session = session
+        self._sql = sql
+        self._stmt = stmt
+        self._parameters = list(parameters)
+        self._types = dict(types)
+
+    @property
+    def parameter_keys(self) -> List[Any]:
+        """Placeholder keys in first-appearance order (ints for ``$n``,
+        strings for ``:name``)."""
+        return [p.key for p in self._parameters]
+
+    @property
+    def parameter_types(self) -> Dict[Any, Optional[str]]:
+        """Inferred type per placeholder (None = unchecked)."""
+        return dict(self._types)
+
+    def bind(self, params: Any) -> Dict[Any, Any]:
+        """Validate and coerce one set of bound values.
+
+        Positional statements take a sequence (length must equal the
+        parameter count); named statements take a mapping with exactly
+        the declared names. Raises
+        :class:`~repro.errors.ParameterBindingError` on arity, name or
+        type mismatches."""
+        positional = [p for p in self._parameters if p.index is not None]
+        if positional:
+            if params is None:
+                params = ()
+            if isinstance(params, (str, bytes)) \
+                    or not isinstance(params, Sequence):
+                raise ParameterBindingError(
+                    f"statement takes {len(positional)} positional "
+                    f"parameter(s); pass a sequence")
+            if len(params) != len(positional):
+                raise ParameterBindingError(
+                    f"statement takes {len(positional)} parameter(s), "
+                    f"got {len(params)}")
+            return {
+                i + 1: logical_plan.coerce_parameter(
+                    i + 1, value, self._types.get(i + 1))
+                for i, value in enumerate(params)}
+        declared = {p.name for p in self._parameters}
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            raise ParameterBindingError(
+                "statement uses named parameters; pass a mapping")
+        given = {str(k).lower() for k in params}
+        missing = sorted(declared - given)
+        extra = sorted(given - declared)
+        if missing:
+            raise ParameterBindingError(
+                f"missing parameter(s): "
+                f"{', '.join(':' + m for m in missing)}")
+        if extra:
+            raise ParameterBindingError(
+                f"unknown parameter(s): "
+                f"{', '.join(':' + e for e in extra)}")
+        return {
+            str(key).lower(): logical_plan.coerce_parameter(
+                str(key).lower(), value,
+                self._types.get(str(key).lower()))
+            for key, value in params.items()}
+
+    def execute(self, params: Any = None,
+                options: Optional[QueryOptions] = None) -> QueryResult:
+        """Run the statement with ``params`` bound to its placeholders."""
+        values = self.bind(params)
+        return self._session._run(self._sql,
+                                  options if options is not None
+                                  else QueryOptions(),
+                                  params=values)
 
 
 def _relation_to_table(relation: Relation, names: List[str]) -> Table:
@@ -892,12 +1037,55 @@ def execute_select(stmt: ast.SelectStmt,
                    ctx: Context) -> Tuple[Relation, List[str]]:
     exec_ctx = current_context()
     exec_ctx.checkpoint()
-    if stmt.ctes:
-        ctx = ctx.child()
+    if not stmt.ctes:
+        return _execute_select_body(stmt, ctx, exec_ctx)
+    # Materialize WITH chains eagerly, each under its own trace span
+    # and a soft governor reservation sized from the materialized
+    # relation — held until the statement finishes so memory pressure
+    # sees CTE results as resident bytes, not free lunch.
+    ctx = ctx.child()
+    tracer = exec_ctx.tracer
+    governor = exec_ctx.memory
+    reservations: List[Any] = []
+    try:
         for name, select in stmt.ctes:
-            relation, names = execute_select(select, ctx)
+            exec_ctx.fire("cte.materialize")
+            span = tracer.span("cte.materialize", cte=name.lower()) \
+                if tracer.enabled else None
+            try:
+                relation, names = execute_select(select, ctx)
+                if span is not None:
+                    span.annotate(rows=relation.n)
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
+            if governor is not None:
+                reservations.append(governor.reserve(
+                    _relation_bytes(relation), tag="cte", ctx=exec_ctx))
             ctx.ctes[name.lower()] = (relation, names)
+        return _execute_select_body(stmt, ctx, exec_ctx)
+    finally:
+        for reservation in reservations:
+            reservation.release()
 
+
+def _relation_bytes(relation: Relation) -> int:
+    """Resident-byte estimate of a materialized relation (strings are
+    approximated; exactness is not the governor's contract)."""
+    total = 0
+    for vector in relation.vectors:
+        if vector.is_numpy:
+            total += vector.values.nbytes
+        else:
+            total += sum(56 + len(value) if isinstance(value, str) else 56
+                         for value in vector.values)
+        total += vector.validity.nbytes
+    return total
+
+
+def _execute_select_body(stmt: ast.SelectStmt, ctx: Context,
+                         exec_ctx: ExecutionContext
+                         ) -> Tuple[Relation, List[str]]:
     relation = _execute_from(stmt.from_, ctx)
     # Pipeline stages are the executor's batch boundaries: check the
     # guardrails between FROM, WHERE, aggregation/windows and projection
@@ -1009,6 +1197,13 @@ def _execute_join(join: ast.Join, ctx: Context) -> Relation:
             left_rows.append(np.full(right.n, i, dtype=np.int64))
             right_rows.append(np.arange(right.n, dtype=np.int64))
     else:
+        # The logical plan layer classifies the ON condition against
+        # the two inputs' scopes; equi-keyed inner/left joins take the
+        # hash path, everything else stays on the nested loop.
+        jplan = logical_plan.classify_join(
+            join, Scope(left.bindings), Scope(right.bindings))
+        if jplan.strategy == "hash":
+            return _execute_hash_join(join, jplan, left, right, ctx)
         # Nested-loop join: vectorised predicate per left row. This is
         # the O(n^2) plan the Figure 9 baselines are stuck with — which
         # is exactly why its outer loop must stay interruptible.
@@ -1026,6 +1221,12 @@ def _execute_join(join: ast.Join, ctx: Context) -> Relation:
                 continue
             left_rows.append(np.full(len(matches), i, dtype=np.int64))
             right_rows.append(matches)
+    return _assemble_join(left, right, left_rows, right_rows)
+
+
+def _assemble_join(left: Relation, right: Relation,
+                   left_rows: List[np.ndarray],
+                   right_rows: List[np.ndarray]) -> Relation:
     if left_rows:
         left_index = np.concatenate(left_rows)
         right_index = np.concatenate(right_rows)
@@ -1039,6 +1240,115 @@ def _execute_join(join: ast.Join, ctx: Context) -> Relation:
         for vector in right_part.vectors:
             vector.validity = vector.validity & ~unmatched
     return left_part.concat_columns(right_part)
+
+
+#: Rough per-row hash-table cost charged for the build side: the key
+#: tuple, the bucket list entry and dict overhead amortised.
+_HASH_ENTRY_BYTES = 120
+
+_NO_MATCHES: Tuple[int, ...] = ()
+
+
+def _join_key_column(expr: ast.Expr, relation: Relation,
+                     ctx: Context) -> Tuple[List[Any], np.ndarray]:
+    """One key expression as (raw values list, validity). Raw storage
+    values (day ordinals for dates) — equality on them matches SQL
+    ``=`` for every type the nested loop would accept."""
+    vector = _eval(expr, relation, ctx)
+    if vector.is_numpy:
+        return vector.values.tolist(), vector.validity
+    return list(vector.values), vector.validity
+
+
+def _execute_hash_join(join: ast.Join, jplan: "logical_plan.JoinPlan",
+                       left: Relation, right: Relation,
+                       ctx: Context) -> Relation:
+    """Equi-keyed inner/left join via a build-side hash table.
+
+    Reproduces the nested-loop output contract bit for bit: one pass
+    over left rows in order, matches in right-scan order (bucket lists
+    append ascending indices), NULL keys never match, the residual
+    predicate is evaluated per probe row against the matched build
+    rows with the same OuterRow chain the nested loop uses."""
+    exec_ctx = current_context()
+    tracer = exec_ctx.tracer
+    governor = exec_ctx.memory
+    reservation = None
+    if governor is not None:
+        reservation = governor.reserve(
+            _HASH_ENTRY_BYTES * (right.n + 1), tag="join", ctx=exec_ctx)
+    try:
+        exec_ctx.fire("join.build")
+        table: Dict[Tuple[Any, ...], List[int]] = {}
+        span = tracer.span("join.build", rows=right.n,
+                           keys=len(jplan.keys)) if tracer.enabled else None
+        try:
+            build_cols = [_join_key_column(expr, right, ctx)
+                          for _l, expr in jplan.keys]
+            for i in range(right.n):
+                if i % 8192 == 0:
+                    exec_ctx.checkpoint()
+                key = _row_key(build_cols, i)
+                if key is None:
+                    continue
+                table.setdefault(key, []).append(i)
+        finally:
+            if span is not None:
+                span.annotate(buckets=len(table))
+                span.__exit__(None, None, None)
+
+        span = tracer.span("join.probe", rows=left.n) \
+            if tracer.enabled else None
+        emitted = 0
+        left_rows: List[np.ndarray] = []
+        right_rows: List[np.ndarray] = []
+        try:
+            probe_cols = [_join_key_column(expr, left, ctx)
+                          for expr, _r in jplan.keys]
+            residual = jplan.residual
+            left_outer = join.kind == "left"
+            for i in range(left.n):
+                if i % 4096 == 0:
+                    exec_ctx.checkpoint()
+                key = _row_key(probe_cols, i)
+                matches: Any = _NO_MATCHES if key is None \
+                    else table.get(key, _NO_MATCHES)
+                if matches and residual is not None:
+                    index = np.asarray(matches, dtype=np.int64)
+                    subset = right.take(index)
+                    outer = OuterRow(left, i, parent=ctx.outer)
+                    inner_ctx = ctx.child(outer=outer)
+                    mask = truthy_rows(_eval(residual, subset, inner_ctx))
+                    matches = index[mask]
+                if len(matches) == 0:
+                    if left_outer:
+                        left_rows.append(np.array([i], dtype=np.int64))
+                        right_rows.append(np.array([-1], dtype=np.int64))
+                        emitted += 1
+                    continue
+                left_rows.append(np.full(len(matches), i, dtype=np.int64))
+                right_rows.append(np.asarray(matches, dtype=np.int64))
+                emitted += len(matches)
+        finally:
+            if span is not None:
+                span.annotate(matches=emitted)
+                span.__exit__(None, None, None)
+        return _assemble_join(left, right, left_rows, right_rows)
+    finally:
+        if reservation is not None:
+            reservation.release()
+
+
+def _row_key(columns: List[Tuple[List[Any], np.ndarray]],
+             row: int) -> Optional[Tuple[Any, ...]]:
+    """The hash key for one row, or None when any key part is NULL
+    (SQL equality with NULL is never true, so the row cannot match)."""
+    key = []
+    for values, validity in columns:
+        if not validity[row]:
+            return None
+        key.append(values[row])
+    return tuple(key)
 
 
 # ----------------------------------------------------------------------
@@ -1081,6 +1391,8 @@ def _children(node: ast.Expr) -> List[ast.Expr]:
         return [node.expr, node.low, node.high]
     if isinstance(node, ast.InExpr):
         return [node.expr, *node.items]
+    if isinstance(node, ast.InSubquery):
+        return [node.expr]  # the subquery body is a separate statement
     if isinstance(node, ast.IsNullExpr):
         return [node.expr]
     if isinstance(node, ast.LikeExpr):
@@ -1137,6 +1449,9 @@ def _replace(expr: ast.Expr,
         return ast.InExpr(_replace(expr.expr, mapping),
                           tuple(_replace(e, mapping) for e in expr.items),
                           expr.negated)
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(_replace(expr.expr, mapping), expr.select,
+                              expr.negated)
     if isinstance(expr, ast.IsNullExpr):
         return ast.IsNullExpr(_replace(expr.expr, mapping), expr.negated)
     if isinstance(expr, ast.LikeExpr):
@@ -1594,8 +1909,15 @@ def _eval(expr: ast.Expr, relation: Relation, ctx: Context) -> Vector:
         return _eval_scalar_function(expr, relation, ctx)
     if isinstance(expr, ast.ScalarSubquery):
         return _eval_scalar_subquery(expr, relation, ctx)
+    if isinstance(expr, ast.InSubquery):
+        return _eval_in_subquery(expr, relation, ctx)
     if isinstance(expr, ast.ExistsExpr):
         return _eval_exists(expr, relation, ctx)
+    if isinstance(expr, ast.Parameter):
+        raise ParameterBindingError(
+            f"statement has an unbound parameter {expr.display()}; "
+            f"prepare it with Session.prepare() and execute with "
+            f"bound values")
     if isinstance(expr, ast.WindowFunc):
         raise SqlAnalysisError(
             "window functions are only allowed in the SELECT list "
@@ -1738,6 +2060,48 @@ def _scalar_from(relation: Relation) -> Any:
 
 def _broadcast_scalar(value: Any, n: int) -> Vector:
     return from_scalar(value, n)
+
+
+def _eval_in_subquery(expr: ast.InSubquery, relation: Relation,
+                      ctx: Context) -> Vector:
+    """``expr [NOT] IN (SELECT ...)``: one subquery execution, then a
+    hash-set membership probe with SQL three-valued logic.
+
+    The plan layer rejects correlated bodies up front (they would need
+    per-row re-execution; rewrite as a join or EXISTS), so the
+    subquery runs exactly once regardless of the outer row count."""
+    logical_plan.check_in_subquery(
+        expr, ctx.catalog,
+        {name: names for name, (_rel, names) in ctx.ctes.items()})
+    sub_rel, _ = execute_select(expr.select, ctx.child(outer=None))
+    if len(sub_rel.vectors) != 1:
+        raise SqlAnalysisError(
+            "IN subquery must return exactly one column")
+    vector = sub_rel.vectors[0]
+    raw = vector.values.tolist() if vector.is_numpy else list(vector.values)
+    members = set()
+    has_null = False
+    for value, valid in zip(raw, vector.validity.tolist()):
+        if valid:
+            members.add(value)
+        else:
+            has_null = True
+
+    probe = _eval(expr.expr, relation, ctx)
+    n = relation.n
+    probe_raw = probe.values.tolist() if probe.is_numpy \
+        else list(probe.values)
+    result = np.zeros(n, dtype=np.bool_)
+    validity = np.ones(n, dtype=np.bool_)
+    for i in range(n):
+        if not probe.validity[i]:
+            validity[i] = False  # NULL IN (...) is NULL
+        elif probe_raw[i] in members:
+            result[i] = True
+        elif has_null:
+            validity[i] = False  # x IN (..., NULL) without a hit: NULL
+    out = Vector(result, validity, DataType.BOOL)
+    return logical_not(out) if expr.negated else out
 
 
 def _eval_exists(expr: ast.ExistsExpr, relation: Relation,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Union
 
 from repro.sql import ast
+from repro.sql import plan as logical_plan
 from repro.sql.aggregates import is_aggregate_name
 from repro.sql.parser import parse
 
@@ -20,7 +21,8 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
             cache: Any = None, health: Any = None,
             gateway: Any = None, breakers: Any = None,
             parallel: Any = None, analysis: Any = None,
-            plan_cache: Any = None, memory: Any = None) -> str:
+            plan_cache: Any = None, memory: Any = None,
+            catalog: Any = None) -> str:
     """Render the execution plan of a SELECT statement as a tree.
 
     With a :class:`repro.cache.StructureCache` (or via
@@ -56,10 +58,17 @@ def explain(sql_or_ast: Union[str, ast.SelectStmt],
     nodes are annotated with that execution's actual row counts and
     wall times, and an ``Execution (actual)`` section summarises the
     per-phase timings, cache build/reuse counts, spill traffic, and
-    scheduler decisions recorded by the query's trace."""
+    scheduler decisions recorded by the query's trace.
+
+    ``catalog`` (a :class:`~repro.sql.catalog.Catalog`) enables the
+    logical plan layer: joins are classified against real table
+    scopes, so equi-keyed inner/left joins render as ``HashJoin``
+    nodes — the same decision the executor takes. Without a catalog
+    the rendering stays purely syntactic (every join a
+    ``NestedLoopJoin``), preserving the static utility form."""
     stmt = parse(sql_or_ast) if isinstance(sql_or_ast, str) else sql_or_ast
     lines: List[str] = []
-    _render_select(stmt, lines, 0)
+    _render_select(stmt, lines, 0, catalog, {})
     if analysis is not None:
         _annotate_plan(lines, analysis)
     if plan_cache is not None:
@@ -131,11 +140,32 @@ def _annotate_plan(lines: List[str], analysis: Any) -> None:
         return
     scans = list(root.find_all("scan"))
     groups = root.find_all("window.group")
+    builds = list(root.find_all("join.build"))
+    probes = list(root.find_all("join.probe"))
+    ctes = list(root.find_all("cte.materialize"))
     annotated_project = False
     annotated_window = False
     for i, line in enumerate(lines):
         text = line.lstrip()
-        if text.startswith("Project (") and not annotated_project:
+        if text.startswith("HashJoin (") and builds:
+            build = builds.pop(0)
+            parts = [f"build_rows={build.attrs.get('rows', '?')}",
+                     f"build={_ms(build.duration)}"]
+            if probes:
+                probe = probes.pop(0)
+                parts.append(f"matches={probe.attrs.get('matches', '?')}")
+                parts.append(f"probe={_ms(probe.duration)}")
+            lines[i] = f"{line} (actual: {', '.join(parts)})"
+        elif text.startswith("CTE "):
+            name = text.split()[1].rstrip(":").lower()
+            for j, span in enumerate(ctes):
+                if span.attrs.get("cte") == name:
+                    lines[i] = (f"{line[:-1]} (actual: "
+                                f"rows={span.attrs.get('rows', '?')}, "
+                                f"time={_ms(span.duration)}):")
+                    ctes.pop(j)
+                    break
+        elif text.startswith("Project (") and not annotated_project:
             annotated_project = True
             lines[i] = (f"{line} (actual: rows={len(analysis)}, "
                         f"total={_ms(root.duration)})")
@@ -167,7 +197,8 @@ def _execution_section(analysis: Any) -> List[str]:
     root = getattr(analysis, "trace", None)
     if root is None:
         return lines
-    phase_order = ["gateway.wait", "parse", "plan", "partition",
+    phase_order = ["gateway.wait", "parse", "plan", "cte.materialize",
+                   "join.build", "join.probe", "partition",
                    "window.group", "structure.build", "probe",
                    "spill.write", "spill.read", "parallel.morsel"]
     totals = {name: [0, 0.0] for name in phase_order}
@@ -197,10 +228,18 @@ def _emit(lines: List[str], depth: int, text: str) -> None:
 
 
 def _render_select(stmt: ast.SelectStmt, lines: List[str],
-                   depth: int) -> None:
+                   depth: int, catalog: Any = None,
+                   ctes: Any = None) -> None:
+    ctes = dict(ctes) if ctes else {}
     for name, cte in stmt.ctes:
         _emit(lines, depth, f"CTE {name}:")
-        _render_select(cte, lines, depth + 1)
+        _render_select(cte, lines, depth + 1, catalog, ctes)
+        if catalog is not None:
+            try:
+                ctes[name.lower()] = logical_plan.output_names(
+                    cte, catalog, ctes)
+            except Exception:
+                catalog = None  # unknown table etc.: render statically
     if stmt.limit is not None:
         _emit(lines, depth, f"Limit ({stmt.limit})")
         depth += 1
@@ -234,38 +273,68 @@ def _render_select(stmt: ast.SelectStmt, lines: List[str],
         calls = ", ".join(f"{w.func.name}(...) OVER "
                           f"{w.window if isinstance(w.window, str) else '(...)'}"
                           for w in window_nodes)
-        _emit(lines, depth, f"Window ({calls})")
+        shared = logical_plan.shared_window_groups(stmt)
+        suffix = ""
+        if shared:
+            groups = "; ".join("=".join(names) for names in shared)
+            suffix = f" [shared sort: {groups}]"
+        _emit(lines, depth, f"Window ({calls}){suffix}")
         depth += 1
     if stmt.where is not None:
         _emit(lines, depth, f"Filter ({_expr(stmt.where)})")
         depth += 1
-    _render_from(stmt.from_, lines, depth)
+    _render_from(stmt.from_, lines, depth, catalog, ctes)
 
 
 def _render_from(from_: ast.TableExpr, lines: List[str],
-                 depth: int) -> None:
+                 depth: int, catalog: Any = None,
+                 ctes: Any = None) -> None:
+    ctes = ctes or {}
     if from_ is None:
         _emit(lines, depth, "Values (1 row)")
         return
     if isinstance(from_, ast.NamedTable):
         alias = f" AS {from_.alias}" if from_.alias else ""
-        _emit(lines, depth, f"Scan {from_.name}{alias}")
+        cte = " (cte)" if from_.name.lower() in ctes else ""
+        _emit(lines, depth, f"Scan {from_.name}{alias}{cte}")
         return
     if isinstance(from_, ast.DerivedTable):
         _emit(lines, depth, f"Subquery AS {from_.alias}:")
-        _render_select(from_.select, lines, depth + 1)
+        _render_select(from_.select, lines, depth + 1, catalog, ctes)
         return
     if isinstance(from_, ast.Join):
-        if from_.kind == "cross" and from_.condition is None:
+        jplan = _classify(from_, catalog, ctes)
+        if jplan is not None and jplan.strategy == "hash":
+            keys = ", ".join(f"{_expr(l)} = {_expr(r)}"
+                             for l, r in jplan.keys)
+            residual = (f", residual: {_expr(jplan.residual)}"
+                        if jplan.residual is not None else "")
+            _emit(lines, depth,
+                  f"HashJoin ({jplan.kind}, keys: {keys}{residual})")
+        elif from_.kind == "cross" and from_.condition is None:
             _emit(lines, depth, "NestedLoopJoin (cross)")
         else:
             condition = _expr(from_.condition) if from_.condition else ""
             _emit(lines, depth,
                   f"NestedLoopJoin ({from_.kind}, on {condition})")
-        _render_from(from_.left, lines, depth + 1)
-        _render_from(from_.right, lines, depth + 1)
+        _render_from(from_.left, lines, depth + 1, catalog, ctes)
+        _render_from(from_.right, lines, depth + 1, catalog, ctes)
         return
     _emit(lines, depth, f"<{type(from_).__name__}>")
+
+
+def _classify(join: ast.Join, catalog: Any, ctes: Any):
+    """The plan layer's strategy for one join, or None when no catalog
+    is available (or scope analysis fails — unknown tables render
+    statically and fail properly at execution)."""
+    if catalog is None:
+        return None
+    try:
+        left = logical_plan.from_scope(join.left, catalog, ctes)
+        right = logical_plan.from_scope(join.right, catalog, ctes)
+        return logical_plan.classify_join(join, left, right)
+    except Exception:
+        return None
 
 
 def _collect_windows(expr: ast.Expr, out: List[ast.WindowFunc]) -> None:
@@ -331,6 +400,11 @@ def _expr(node: ast.Expr) -> str:
         return f"{_expr(node.func)} OVER {over}"
     if isinstance(node, ast.ScalarSubquery):
         return "(correlated subquery)"
+    if isinstance(node, ast.InSubquery):
+        negate = "not " if node.negated else ""
+        return f"({_expr(node.expr)} {negate}in (subquery))"
     if isinstance(node, ast.ExistsExpr):
         return "EXISTS (...)"
+    if isinstance(node, ast.Parameter):
+        return node.display()
     return f"<{type(node).__name__}>"

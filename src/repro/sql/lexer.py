@@ -109,6 +109,24 @@ def tokenize(sql: str) -> List[Token]:
             tokens.append(Token(kind, word, sql[i:j], i))
             i = j
             continue
+        if ch == "$" and i + 1 < n and sql[i + 1].isdigit():
+            # positional parameter placeholder: $1, $2, ...
+            j = i + 1
+            while j < n and sql[j].isdigit():
+                j += 1
+            tokens.append(Token("param", int(sql[i + 1:j]), sql[i:j], i))
+            i = j
+            continue
+        if (ch == ":" and i + 1 < n and not sql.startswith("::", i)
+                and (sql[i + 1].isalpha() or sql[i + 1] == "_")):
+            # named parameter placeholder: :name ('::' stays a cast)
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            tokens.append(Token("param", sql[i + 1:j].lower(),
+                                sql[i:j], i))
+            i = j
+            continue
         matched = False
         for symbol in SYMBOLS:
             if sql.startswith(symbol, i):

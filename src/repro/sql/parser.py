@@ -333,6 +333,11 @@ class _Parser:
                 continue
             if self.accept_keyword("in"):
                 self.expect_symbol("(")
+                if self.at_keyword("select", "with"):
+                    select = self.parse_select()
+                    self.expect_symbol(")")
+                    left = ast.InSubquery(left, select, negated)
+                    continue
                 items = [self.parse_expr()]
                 while self.accept_symbol(","):
                     items.append(self.parse_expr())
@@ -391,6 +396,13 @@ class _Parser:
         if token.kind == "string":
             self.advance()
             return ast.Literal(token.value)
+        if token.kind == "param":
+            if isinstance(token.value, int) and token.value < 1:
+                raise self.error("parameter numbers start at $1")
+            self.advance()
+            if isinstance(token.value, int):
+                return ast.Parameter(index=token.value)
+            return ast.Parameter(name=token.value)
         if self.accept_keyword("null"):
             return ast.Literal(None)
         if self.accept_keyword("true"):

@@ -46,13 +46,57 @@ __all__ = ["PlanCache", "PlanCacheStats", "normalize_sql", "plan_bytes"]
 DEFAULT_PLAN_CACHE_BYTES = 8 << 20
 
 
+def _strip_comments(sql: str) -> str:
+    """Remove ``--`` line comments and ``/* */`` block comments.
+
+    String literals ('...', with '' escapes) and quoted identifiers
+    ("...") are respected — comment markers inside them are content,
+    not comments. Each removed comment leaves one space, so
+    ``a--x\\nb`` cannot fuse into ``ab``. Block comments don't nest
+    (matching the lexer); an unterminated comment runs to end of text
+    and the parser reports the real error."""
+    out: List[str] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'" or ch == '"':
+            quote = ch
+            j = i + 1
+            while j < n:
+                if sql[j] == quote:
+                    if quote == "'" and sql.startswith("''", j):
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                j += 1
+            out.append(sql[i:j])
+            i = j
+            continue
+        if sql.startswith("--", i):
+            j = sql.find("\n", i)
+            out.append(" ")
+            i = n if j < 0 else j
+            continue
+        if sql.startswith("/*", i):
+            j = sql.find("*/", i + 2)
+            out.append(" ")
+            i = n if j < 0 else j + 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def normalize_sql(sql: str) -> str:
     """Whitespace-insensitive canonical text for fingerprinting.
 
-    Collapses all whitespace runs to single spaces and drops one
-    trailing semicolon. Deliberately *not* case-insensitive — see the
-    module docstring."""
-    text = " ".join(sql.split())
+    Strips SQL comments (``--`` and ``/* */``, string-literal aware),
+    collapses all whitespace runs to single spaces and drops one
+    trailing semicolon — so reformatting or re-commenting a statement
+    doesn't defeat the cache. Deliberately *not* case-insensitive —
+    see the module docstring."""
+    text = " ".join(_strip_comments(sql).split())
     if text.endswith(";"):
         text = text[:-1].rstrip()
     return text

@@ -26,10 +26,16 @@ from repro.tpch.generator import (
     orders,
     tpcc_results,
 )
+from repro.tpch.queries import BLOCKED, QUERIES
+from repro.tpch.reference import REFERENCE
+from repro.tpch.tables import tpch_catalog, tpch_tables
 
 __all__ = [
+    "BLOCKED",
     "LINEITEM_COLUMNS",
     "ORDERS_COLUMNS",
+    "QUERIES",
+    "REFERENCE",
     "TPCH_END_DATE",
     "TPCH_START_DATE",
     "lineitem",
@@ -39,4 +45,6 @@ __all__ = [
     "load_tbl",
     "orders",
     "tpcc_results",
+    "tpch_catalog",
+    "tpch_tables",
 ]

@@ -1,0 +1,339 @@
+"""The TPC-H query suite, adapted to the engine's SQL dialect.
+
+Eighteen of the twenty-two TPC-H queries run end to end through the
+relational frontend (joins, CTEs, scalar/IN/EXISTS subqueries, named
+windows). :data:`QUERIES` maps ``"q1"``..``"q19"`` to statement text;
+:data:`BLOCKED` documents the four that cannot run yet and why (also
+surfaced in EXPERIMENTS.md).
+
+Adaptations from the spec text, applied uniformly:
+
+* ``date '...' +/- interval`` arithmetic in constants is pre-folded to
+  literal dates (the engine evaluates interval arithmetic per row;
+  folding keeps the texts independent of that code path);
+* ``extract(year from x)`` is spelled ``year(x)``;
+* correlated predicates that the spec applies to an unfiltered join
+  (Q4's EXISTS probe, Q17's per-part average) are restructured with a
+  CTE so the correlated subquery runs against the *filtered* rows —
+  same result set, without per-row subquery execution over the whole
+  fact table. Q4 uses the classic ``IN (SELECT l_orderkey ...)``
+  rewrite, which is exactly the semi-join its EXISTS expresses;
+* substitution parameters are the spec's validation values except
+  Q18's quantity threshold (250 instead of 300 — at SF 0.01 with
+  1..7 lines per order, 300 selects nothing).
+
+Each text keeps one statement per string so the plan cache fingerprints
+them individually.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["QUERIES", "BLOCKED"]
+
+QUERIES: Dict[str, str] = {}
+
+QUERIES["q1"] = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+QUERIES["q3"] = """
+SELECT l.l_orderkey,
+       sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       o.o_orderdate, o.o_shippriority
+FROM customer AS c
+JOIN orders AS o ON c.c_custkey = o.o_custkey
+JOIN lineitem AS l ON l.l_orderkey = o.o_orderkey
+WHERE c.c_mktsegment = 'BUILDING'
+  AND o.o_orderdate < date '1995-03-15'
+  AND l.l_shipdate > date '1995-03-15'
+GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+ORDER BY revenue DESC, o.o_orderdate, l.l_orderkey
+LIMIT 10
+"""
+
+QUERIES["q4"] = """
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= date '1993-07-01'
+  AND o_orderdate < date '1993-10-01'
+  AND o_orderkey IN (SELECT l_orderkey FROM lineitem
+                     WHERE l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority
+"""
+
+QUERIES["q5"] = """
+SELECT n.n_name,
+       sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer AS c
+JOIN orders AS o ON c.c_custkey = o.o_custkey
+JOIN lineitem AS l ON l.l_orderkey = o.o_orderkey
+JOIN supplier AS s ON l.l_suppkey = s.s_suppkey
+JOIN nation AS n ON s.s_nationkey = n.n_nationkey
+JOIN region AS r ON n.n_regionkey = r.r_regionkey
+WHERE c.c_nationkey = s.s_nationkey
+  AND r.r_name = 'ASIA'
+  AND o.o_orderdate >= date '1994-01-01'
+  AND o.o_orderdate < date '1995-01-01'
+GROUP BY n.n_name
+ORDER BY revenue DESC
+"""
+
+QUERIES["q6"] = """
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01'
+  AND l_shipdate < date '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+QUERIES["q7"] = """
+WITH shipping AS (
+  SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+         year(l.l_shipdate) AS l_year,
+         l.l_extendedprice * (1 - l.l_discount) AS volume
+  FROM supplier AS s
+  JOIN lineitem AS l ON s.s_suppkey = l.l_suppkey
+  JOIN orders AS o ON o.o_orderkey = l.l_orderkey
+  JOIN customer AS c ON c.c_custkey = o.o_custkey
+  JOIN nation AS n1 ON s.s_nationkey = n1.n_nationkey
+  JOIN nation AS n2 ON c.c_nationkey = n2.n_nationkey
+  WHERE ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+      OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+    AND l.l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31')
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year
+"""
+
+QUERIES["q8"] = """
+WITH all_nations AS (
+  SELECT year(o.o_orderdate) AS o_year,
+         l.l_extendedprice * (1 - l.l_discount) AS volume,
+         n2.n_name AS nation
+  FROM part AS p
+  JOIN lineitem AS l ON p.p_partkey = l.l_partkey
+  JOIN supplier AS s ON s.s_suppkey = l.l_suppkey
+  JOIN orders AS o ON l.l_orderkey = o.o_orderkey
+  JOIN customer AS c ON o.o_custkey = c.c_custkey
+  JOIN nation AS n1 ON c.c_nationkey = n1.n_nationkey
+  JOIN region AS r ON n1.n_regionkey = r.r_regionkey
+  JOIN nation AS n2 ON s.s_nationkey = n2.n_nationkey
+  WHERE r.r_name = 'AMERICA'
+    AND o.o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+    AND p.p_type = 'ECONOMY ANODIZED STEEL')
+SELECT o_year,
+       sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0 END)
+         / sum(volume) AS mkt_share
+FROM all_nations
+GROUP BY o_year
+ORDER BY o_year
+"""
+
+QUERIES["q9"] = """
+WITH profit AS (
+  SELECT n.n_name AS nation, year(o.o_orderdate) AS o_year,
+         l.l_extendedprice * (1 - l.l_discount)
+           - ps.ps_supplycost * l.l_quantity AS amount
+  FROM part AS p
+  JOIN lineitem AS l ON p.p_partkey = l.l_partkey
+  JOIN supplier AS s ON s.s_suppkey = l.l_suppkey
+  JOIN partsupp AS ps ON ps.ps_suppkey = l.l_suppkey
+                     AND ps.ps_partkey = l.l_partkey
+  JOIN orders AS o ON o.o_orderkey = l.l_orderkey
+  JOIN nation AS n ON s.s_nationkey = n.n_nationkey
+  WHERE p.p_name LIKE '%green%')
+SELECT nation, o_year, sum(amount) AS sum_profit
+FROM profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC
+"""
+
+QUERIES["q10"] = """
+SELECT c.c_custkey, c.c_name,
+       sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+FROM customer AS c
+JOIN orders AS o ON c.c_custkey = o.o_custkey
+JOIN lineitem AS l ON l.l_orderkey = o.o_orderkey
+JOIN nation AS n ON c.c_nationkey = n.n_nationkey
+WHERE o.o_orderdate >= date '1993-10-01'
+  AND o.o_orderdate < date '1994-01-01'
+  AND l.l_returnflag = 'R'
+GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name,
+         c.c_address, c.c_comment
+ORDER BY revenue DESC, c.c_custkey
+LIMIT 20
+"""
+
+QUERIES["q11"] = """
+SELECT ps.ps_partkey,
+       sum(ps.ps_supplycost * ps.ps_availqty) AS part_value
+FROM partsupp AS ps
+JOIN supplier AS s ON ps.ps_suppkey = s.s_suppkey
+JOIN nation AS n ON s.s_nationkey = n.n_nationkey
+WHERE n.n_name = 'GERMANY'
+GROUP BY ps.ps_partkey
+HAVING sum(ps.ps_supplycost * ps.ps_availqty) >
+  (SELECT sum(ps2.ps_supplycost * ps2.ps_availqty) * 0.01
+   FROM partsupp AS ps2
+   JOIN supplier AS s2 ON ps2.ps_suppkey = s2.s_suppkey
+   JOIN nation AS n2 ON s2.s_nationkey = n2.n_nationkey
+   WHERE n2.n_name = 'GERMANY')
+ORDER BY part_value DESC, ps.ps_partkey
+"""
+
+QUERIES["q12"] = """
+SELECT l.l_shipmode,
+       sum(CASE WHEN o.o_orderpriority = '1-URGENT'
+                  OR o.o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o.o_orderpriority <> '1-URGENT'
+                 AND o.o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders AS o
+JOIN lineitem AS l ON o.o_orderkey = l.l_orderkey
+WHERE l.l_shipmode IN ('MAIL', 'SHIP')
+  AND l.l_commitdate < l.l_receiptdate
+  AND l.l_shipdate < l.l_commitdate
+  AND l.l_receiptdate >= date '1994-01-01'
+  AND l.l_receiptdate < date '1995-01-01'
+GROUP BY l.l_shipmode
+ORDER BY l.l_shipmode
+"""
+
+QUERIES["q13"] = """
+WITH per_customer AS (
+  SELECT c.c_custkey, count(o.o_orderkey) AS c_count
+  FROM customer AS c
+  LEFT JOIN orders AS o ON c.c_custkey = o.o_custkey
+    AND o.o_comment NOT LIKE '%special%requests%'
+  GROUP BY c.c_custkey)
+SELECT c_count, count(*) AS custdist
+FROM per_customer
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC
+"""
+
+QUERIES["q14"] = """
+SELECT 100.00 * sum(CASE WHEN p.p_type LIKE 'PROMO%'
+                         THEN l.l_extendedprice * (1 - l.l_discount)
+                         ELSE 0.0 END)
+       / sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+FROM lineitem AS l
+JOIN part AS p ON l.l_partkey = p.p_partkey
+WHERE l.l_shipdate >= date '1995-09-01'
+  AND l.l_shipdate < date '1995-10-01'
+"""
+
+QUERIES["q15"] = """
+WITH revenue AS (
+  SELECT l_suppkey AS supplier_no,
+         sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+  FROM lineitem
+  WHERE l_shipdate >= date '1996-01-01'
+    AND l_shipdate < date '1996-04-01'
+  GROUP BY l_suppkey)
+SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone, r.total_revenue
+FROM supplier AS s
+JOIN revenue AS r ON s.s_suppkey = r.supplier_no
+WHERE r.total_revenue = (SELECT max(total_revenue) FROM revenue)
+ORDER BY s.s_suppkey
+"""
+
+QUERIES["q16"] = """
+SELECT p.p_brand, p.p_type, p.p_size,
+       count(distinct ps.ps_suppkey) AS supplier_cnt
+FROM partsupp AS ps
+JOIN part AS p ON p.p_partkey = ps.ps_partkey
+WHERE p.p_brand <> 'Brand#45'
+  AND p.p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p.p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps.ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                            WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p.p_brand, p.p_type, p.p_size
+ORDER BY supplier_cnt DESC, p.p_brand, p.p_type, p.p_size
+"""
+
+QUERIES["q17"] = """
+WITH target AS (
+  SELECT l.l_partkey, l.l_quantity, l.l_extendedprice
+  FROM lineitem AS l
+  JOIN part AS p ON p.p_partkey = l.l_partkey
+  WHERE p.p_brand = 'Brand#23' AND p.p_container = 'MED BOX')
+SELECT sum(t.l_extendedprice) / 7.0 AS avg_yearly
+FROM target AS t
+WHERE t.l_quantity < (SELECT 0.2 * avg(l2.l_quantity)
+                      FROM lineitem AS l2
+                      WHERE l2.l_partkey = t.l_partkey)
+"""
+
+QUERIES["q18"] = """
+SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+       o.o_totalprice, sum(l.l_quantity) AS total_qty
+FROM customer AS c
+JOIN orders AS o ON c.c_custkey = o.o_custkey
+JOIN lineitem AS l ON o.o_orderkey = l.l_orderkey
+WHERE o.o_orderkey IN (SELECT l_orderkey FROM lineitem
+                       GROUP BY l_orderkey
+                       HAVING sum(l_quantity) > 250)
+GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+         o.o_totalprice
+ORDER BY o.o_totalprice DESC, o.o_orderdate, o.o_orderkey
+LIMIT 100
+"""
+
+QUERIES["q19"] = """
+SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM lineitem AS l
+JOIN part AS p ON p.p_partkey = l.l_partkey
+WHERE (p.p_brand = 'Brand#12'
+       AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       AND l.l_quantity BETWEEN 1 AND 11
+       AND p.p_size BETWEEN 1 AND 5
+       AND l.l_shipmode IN ('AIR', 'REG AIR')
+       AND l.l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p.p_brand = 'Brand#23'
+       AND p.p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       AND l.l_quantity BETWEEN 10 AND 20
+       AND p.p_size BETWEEN 1 AND 10
+       AND l.l_shipmode IN ('AIR', 'REG AIR')
+       AND l.l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p.p_brand = 'Brand#34'
+       AND p.p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       AND l.l_quantity BETWEEN 20 AND 30
+       AND p.p_size BETWEEN 1 AND 15
+       AND l.l_shipmode IN ('AIR', 'REG AIR')
+       AND l.l_shipinstruct = 'DELIVER IN PERSON')
+"""
+
+#: Queries the frontend cannot run yet, with the honest reason.
+BLOCKED: Dict[str, str] = {
+    "q2": ("correlated scalar subquery over a multi-table join (the "
+           "min-cost supplier probe) re-executes a 4-way join per "
+           "outer row; needs decorrelation into a join"),
+    "q20": ("nested correlated IN subqueries (partkey/suppkey agg "
+            "probe inside a supplier IN); the plan layer rejects "
+            "correlated IN by design — needs decorrelation"),
+    "q21": ("two correlated EXISTS/NOT EXISTS probes against lineitem "
+            "per outer row; runnable in principle but needs semi-join "
+            "decorrelation to finish in reasonable time"),
+    "q22": ("needs substring() for the phone country-code prefix; the "
+            "scalar function library does not include it yet"),
+}

@@ -47,6 +47,26 @@ class TestNormalization:
         assert (fingerprint_sql("SELECT a FROM t")
                 != fingerprint_sql("SELECT b FROM t"))
 
+    def test_line_comments_are_stripped(self):
+        assert (fingerprint_sql("SELECT a -- pick a\nFROM t")
+                == fingerprint_sql("SELECT a FROM t"))
+
+    def test_block_comments_are_stripped(self):
+        assert (fingerprint_sql("SELECT /* v2 of the\nreport */ a FROM t")
+                == fingerprint_sql("SELECT a FROM t"))
+
+    def test_comment_markers_inside_strings_survive(self):
+        # '--' and '/*' inside a string literal are data, not comments.
+        sql = "SELECT a FROM t WHERE b = 'x -- /* y'"
+        assert normalize_sql(sql).endswith("'x -- /* y'")
+        assert (fingerprint_sql(sql)
+                != fingerprint_sql("SELECT a FROM t WHERE b = 'x"))
+
+    def test_comment_replaced_by_separator_not_deleted(self):
+        # Stripping must not glue adjacent tokens together.
+        assert (fingerprint_sql("SELECT a/* gap */FROM t")
+                == fingerprint_sql("SELECT a FROM t"))
+
 
 class TestPlanCache:
     def test_miss_then_hit(self):
@@ -179,6 +199,30 @@ class TestSessionIntegration:
             span = find(result.trace_dict(), "parse")
             assert span is not None
             assert span["attrs"]["plan_cache"] == "hit"
+
+    def test_prepared_statement_reexecution_hits(self):
+        """The prepared-statement contract: one parse, N cache hits.
+
+        ``prepare`` parses (a miss); every subsequent ``execute`` binds
+        parameters into the *cached* template, so re-executions are all
+        hits and the hit rate climbs toward 1.
+        """
+        table = Table.from_dict({
+            "g": (DataType.INT64, [1, 1, 2, 2, 2]),
+            "v": (DataType.INT64, [5, 3, 8, 1, 4]),
+        })
+        with Session(Catalog({"t": table})) as session:
+            stmt = session.prepare("SELECT g, v FROM t WHERE v > $1")
+            for threshold in (1, 2, 3, 4, 5, 6):
+                stmt.execute([threshold])
+            stats = session.plan_cache.stats()
+            assert stats.misses == 1
+            assert stats.hits == 6
+            assert stats.hit_ratio == pytest.approx(6 / 7)
+            # A second handle for the same text never re-parses.
+            session.prepare("SELECT g, v FROM t WHERE v > $1").execute([0])
+            stats = session.plan_cache.stats()
+            assert stats.misses == 1 and stats.hits == 8
 
     def test_config_rejects_negative_budget(self):
         from repro.errors import ConfigurationError

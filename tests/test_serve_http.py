@@ -104,6 +104,68 @@ class TestExecute:
         assert out["priority"] == "batch"
 
 
+class TestParams:
+    def test_positional_params_bind(self, server):
+        status, out = _json(server, "POST", "/v1/execute",
+                            {"sql": "SELECT g FROM t WHERE v > $1",
+                             "params": [3]})
+        assert status == 200
+        assert out["rows"] == [[1], [2], [2]]
+
+    def test_named_params_bind(self, server):
+        status, out = _json(server, "POST", "/v1/execute",
+                            {"sql": "SELECT g FROM t WHERE v > :lo "
+                                    "AND v < :hi",
+                             "params": {"lo": 2, "hi": 6}})
+        assert status == 200
+        assert out["rows"] == [[1], [1], [2]]
+
+    def test_param_type_mismatch_422(self, server):
+        status, out = _json(server, "POST", "/v1/execute",
+                            {"sql": "SELECT g FROM t WHERE v > $1",
+                             "params": ["three"]})
+        assert status == 422
+        assert out["error"]["code"] == "PARAM_BINDING"
+        assert "$1" in out["error"]["message"]
+
+    def test_param_arity_mismatch_422(self, server):
+        status, out = _json(server, "POST", "/v1/execute",
+                            {"sql": "SELECT g FROM t WHERE v > $1",
+                             "params": [1, 2, 3]})
+        assert status == 422
+        assert out["error"]["code"] == "PARAM_BINDING"
+
+    def test_scalar_params_field_400(self, server):
+        status, out = _json(server, "POST", "/v1/execute",
+                            {"sql": "SELECT g FROM t WHERE v > $1",
+                             "params": 3})
+        assert status == 400
+        assert out["error"]["code"] == "INVALID_CONFIG"
+
+    def test_unbound_placeholder_without_params_422(self, server):
+        status, out = _json(server, "POST", "/v1/execute",
+                            {"sql": "SELECT g FROM t WHERE v > $1"})
+        assert status == 422
+        assert out["error"]["code"] == "PARAM_BINDING"
+
+
+class TestTables:
+    def test_tables_lists_catalog_schemas(self, server):
+        status, out = _json(server, "GET", "/v1/tables")
+        assert status == 200
+        assert out["tenant"]
+        (schema,) = out["tables"]
+        assert schema["name"] == "t"
+        assert schema["row_count"] == 5
+        assert {"name": "g", "dtype": "int64"} in schema["columns"]
+
+    def test_tables_rejects_post(self, server):
+        status, headers, _ = _request(server, "POST", "/v1/tables",
+                                      payload={})
+        assert status == 405
+        assert headers["Allow"] == "GET"
+
+
 class TestErrors:
     def test_unknown_path_404(self, server):
         status, out = _json(server, "GET", "/nope")
